@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating every evaluation figure of the paper."""

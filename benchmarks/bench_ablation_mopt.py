@@ -1,0 +1,38 @@
+"""Ablation: JAG-M-OPT formulations.
+
+The paper computes optimal m-way jagged partitions with a dynamic program
+(15 minutes at m=961 on a 512×512 matrix in C++).  This reproduction adds an
+equivalent exact bottleneck-bisection over a minimum-processor DP
+(DESIGN.md §6).  This bench quantifies the gap on an instance where both
+run, and verifies they return the same optimum.
+"""
+
+import pytest
+
+from repro.core.prefix import PrefixSum2D
+from repro.instances import uniform
+from repro.jagged.m_opt import jag_m_opt_bottleneck, jag_m_opt_dp_bottleneck
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return PrefixSum2D(uniform(24, 1.4, seed=1)), 12
+
+
+def test_mopt_bisection(benchmark, small_instance):
+    pref, m = small_instance
+    benchmark(jag_m_opt_bottleneck, pref, m)
+
+
+def test_mopt_paper_dp(benchmark, small_instance):
+    pref, m = small_instance
+    got = benchmark.pedantic(
+        jag_m_opt_dp_bottleneck, args=(pref, m), rounds=1, iterations=1
+    )
+    assert got == jag_m_opt_bottleneck(pref, m)
+
+
+def test_mopt_bisection_medium(benchmark):
+    """The bisection formulation at a scale the paper DP cannot touch."""
+    pref = PrefixSum2D(uniform(128, 1.2, seed=2))
+    benchmark.pedantic(jag_m_opt_bottleneck, args=(pref, 100), rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Microbenchmarks of the core substrate: prefix sums, loads, validation.
+
+The paper's cost model assumes O(1) rectangle loads through the Γ prefix
+array and an O(m²) partition validity test (§2.1); these benches keep those
+costs honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition
+from repro.core.prefix import PrefixSum2D
+from repro.instances import uniform
+from repro.rectilinear import rect_uniform
+
+
+@pytest.fixture(scope="module")
+def big_matrix():
+    return uniform(1024, 1.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def big_prefix(big_matrix):
+    return PrefixSum2D(big_matrix)
+
+
+def test_prefix_construction(benchmark, big_matrix):
+    benchmark(PrefixSum2D, big_matrix)
+
+
+def test_rect_load_queries(benchmark, big_prefix):
+    rng = np.random.default_rng(1)
+    coords = np.sort(rng.integers(0, 1025, (1000, 2, 2)), axis=2)
+
+    def queries():
+        total = 0
+        for (r0, r1), (c0, c1) in coords:
+            total += big_prefix.load(r0, r1, c0, c1)
+        return total
+
+    benchmark(queries)
+
+
+def test_partition_loads_vectorized(benchmark, big_prefix):
+    part = rect_uniform(big_prefix, 1024)
+    benchmark(part.loads, big_prefix)
+
+
+@pytest.mark.parametrize("method", ["paint", "pairwise"])
+def test_validation(benchmark, big_prefix, method):
+    part = rect_uniform(big_prefix, 256)
+    benchmark(part.validate, method=method)

@@ -1,0 +1,66 @@
+"""Benchmark for the migration-aware dynamic repartitioning extension (§5).
+
+Measures the imbalance/migration trade-off of :class:`IncrementalJagged`
+against always-full repartitioning on a drifting workload, and the cost of a
+refinement step vs a full JAG-M-HEUR run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import migration_volume
+from repro.core.prefix import PrefixSum2D
+from repro.dynamic import IncrementalJagged, refine_jagged
+from repro.jagged import jag_m_heur
+
+
+def drifting_snapshots(n=128, steps=10, speed=2.0):
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    out = []
+    for k in range(steps):
+        cx, cy = 20 + speed * k, 20 + speed * 1.3 * k
+        A = 100 + (
+            900 * np.exp(-(((ii - cx) ** 2 + (jj - cy) ** 2) / (2 * 14.0**2)))
+        ).astype(np.int64)
+        out.append(PrefixSum2D(A.astype(np.int64)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def snaps():
+    return drifting_snapshots()
+
+
+def test_refine_step(benchmark, snaps):
+    part = jag_m_heur(snaps[0], 64)
+    benchmark(refine_jagged, part, snaps[1])
+
+
+def test_full_repartition_step(benchmark, snaps):
+    benchmark(jag_m_heur, snaps[1], 64)
+
+
+def test_migration_tradeoff(benchmark, snaps):
+    def run():
+        rows = []
+        for thr in (0.0, 0.1, 0.3):
+            inc = IncrementalJagged(64, threshold=thr)
+            prev = None
+            migration = 0
+            worst = 0.0
+            for pref in snaps:
+                p = inc.step(pref)
+                if prev is not None:
+                    migration += migration_volume(prev, p, pref)
+                prev = p
+                worst = max(worst, p.imbalance(pref))
+            rows.append((thr, migration, worst, inc.full_repartitions))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nthreshold  migration  worst-imb  full-repartitions")
+    for thr, mig, worst, fulls in rows:
+        print(f"{thr:9.2f}  {mig:9,d}  {worst:9.4f}  {fulls:17d}")
+    # migration decreases monotonically with the threshold
+    migs = [r[1] for r in rows]
+    assert migs[0] >= migs[1] >= migs[2]

@@ -1,0 +1,60 @@
+"""Benches for the extension experiments (paper §5 follow-through).
+
+ext1 — communication volume per heuristic;
+ext2 — migration/imbalance trade-off of incremental repartitioning;
+ext3 — JAG-M-HEUR stripe-count policies (√m vs Theorem 4 vs auto);
+ext4 — 3D volume partitioning.
+"""
+
+import numpy as np
+
+from repro.experiments.extensions import (
+    ext1_comm_volume,
+    ext2_migration_tradeoff,
+    ext3_stripe_autotuning,
+    ext4_volume_3d,
+)
+
+from .conftest import run_figure
+
+
+def test_ext1_comm_volume(benchmark, scale, results_dir):
+    res = run_figure(benchmark, ext1_comm_volume, scale, results_dir)
+    # grid/stripe structures keep communication near the uniform grid's
+    # (they implicitly minimize boundary, §1); hierarchical trees may pay a
+    # few times more but stay within one order of magnitude
+    by_m = {}
+    for name, pts in res.series.items():
+        for x, y in pts:
+            by_m.setdefault(x, {})[name] = y
+    for m, row in by_m.items():
+        base = row["RECT-UNIFORM"]
+        assert row["JAG-M-HEUR"] <= 2.0 * base + 1, (m, row)
+        assert row["JAG-PQ-HEUR"] <= 2.0 * base + 1, (m, row)
+        assert max(row.values()) <= 10.0 * base + 1, (m, row)
+
+
+def test_ext2_migration(benchmark, scale, results_dir):
+    res = run_figure(benchmark, ext2_migration_tradeoff, scale, results_dir)
+    mig = dict(res.series["migrated fraction"])
+    # higher threshold => no more migration
+    thresholds = sorted(mig)
+    for a, b in zip(thresholds, thresholds[1:]):
+        assert mig[b] <= mig[a] + 1e-9
+
+
+def test_ext3_stripe_policies(benchmark, scale, results_dir):
+    res = run_figure(benchmark, ext3_stripe_autotuning, scale, results_dir)
+    sqrt_ = dict(res.series["sqrt"])
+    auto = dict(res.series["auto"])
+    # the auto sweep contains sqrt(m), so it can never lose
+    for m in sqrt_:
+        assert auto[m] <= sqrt_[m] + 1e-9
+    assert np.mean(list(auto.values())) <= np.mean(list(sqrt_.values())) + 1e-12
+
+
+def test_ext4_volume(benchmark, scale, results_dir):
+    res = run_figure(benchmark, ext4_volume_3d, scale, results_dir)
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    assert means["VOL-JAG-M-HEUR"] <= means["VOL-UNIFORM"] + 1e-9
+    assert means["VOL-HIER-RB"] <= means["VOL-UNIFORM"] + 1e-9

@@ -1,0 +1,45 @@
+"""Benchmarks for the heterogeneous-speed extension.
+
+Timings of the ordered-hetero 1D solver and the speed-grouped jagged 2D
+partitioner, plus a quality check against the speed-blind baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix import PrefixSum2D
+from repro.instances import peak
+from repro.jagged import hetero_makespan_2d, jag_hetero, jag_m_heur
+from repro.oned.hetero import partition_hetero
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    rng = np.random.default_rng(0)
+    speeds = np.concatenate([np.full(8, 2.5), np.full(24, 1.0)])
+    rng.shuffle(speeds)
+    return speeds
+
+
+def test_hetero_1d(benchmark, cluster):
+    vals = np.random.default_rng(1).integers(1, 1000, 20_000)
+    benchmark(partition_hetero, vals, cluster)
+
+
+def test_hetero_2d(benchmark, cluster):
+    pref = PrefixSum2D(peak(256, seed=0))
+    part = benchmark(jag_hetero, pref, cluster)
+    assert part.is_valid()
+
+
+def test_hetero_quality(cluster):
+    pref = PrefixSum2D(peak(256, seed=0))
+    speeds = np.asarray(cluster, dtype=np.float64)
+    aware = jag_hetero(pref, speeds).meta["makespan"]
+    blind = hetero_makespan_2d(jag_m_heur(pref, len(speeds)), pref, speeds)
+    ideal = pref.total / speeds.sum()
+    print(
+        f"\nmakespan: aware={aware:,.0f} blind={blind:,.0f} ideal={ideal:,.0f} "
+        f"(aware is {aware / ideal - 1:.1%} over ideal)"
+    )
+    assert aware < blind

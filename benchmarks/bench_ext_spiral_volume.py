@@ -1,0 +1,53 @@
+"""Benchmarks for the extensions: spiral partitions and 3D volumes.
+
+These cover the §3.4 scheme the paper only analyzes (spiral) and the
+"rectangular volumes" the introduction motivates (3D), quantifying their
+cost against the 2D reference algorithms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix import PrefixSum2D
+from repro.instances import peak
+from repro.spiral import spiral_relaxed
+from repro.volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
+
+
+@pytest.fixture(scope="module")
+def instance_2d():
+    return PrefixSum2D(peak(256, seed=0))
+
+
+@pytest.fixture(scope="module")
+def instance_3d():
+    i, j, k = np.meshgrid(*[np.arange(48)] * 3, indexing="ij")
+    A = (
+        1000
+        + 5000 * np.exp(-(((i - 14) ** 2 + (j - 30) ** 2 + (k - 24) ** 2) / 90))
+    ).astype(np.int64)
+    return PrefixSum3D(A)
+
+
+def test_spiral_relaxed(benchmark, instance_2d):
+    part = benchmark(spiral_relaxed, instance_2d, 100)
+    assert part.is_valid()
+
+
+@pytest.mark.parametrize(
+    "algo",
+    [vol_uniform, vol_jag_m_heur, vol_hier_rb],
+    ids=["vol-uniform", "vol-jag-m-heur", "vol-hier-rb"],
+)
+def test_volume_algorithms(benchmark, instance_3d, algo):
+    part = benchmark(algo, instance_3d, 64)
+    assert part.is_valid()
+
+
+def test_volume_quality_ordering(instance_3d):
+    """Imbalance: load-aware 3D methods beat the uniform grid."""
+    uni = vol_uniform(instance_3d, 64).imbalance(instance_3d)
+    jag = vol_jag_m_heur(instance_3d, 64).imbalance(instance_3d)
+    rb = vol_hier_rb(instance_3d, 64).imbalance(instance_3d)
+    print(f"\nvol imbalance: uniform={uni:.4f} jag-m={jag:.4f} hier-rb={rb:.4f}")
+    assert jag < uni and rb < uni

@@ -1,0 +1,18 @@
+"""Figure 3: HIER-RB variants (LOAD/DIST/HOR/VER) on the Peak instance.
+
+Paper: 1024×1024 Peak, m up to 10,000; imbalance grows with m and
+HIER-RB-LOAD achieves the overall best balance.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig03_hier_rb_variants
+
+from .conftest import run_figure
+
+
+def test_fig03(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig03_hier_rb_variants, scale, results_dir)
+    # shape check: -LOAD is the best variant on aggregate
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    assert means["HIER-RB-LOAD"] <= min(means.values()) + 0.05

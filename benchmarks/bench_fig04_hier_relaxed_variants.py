@@ -1,0 +1,17 @@
+"""Figure 4: HIER-RELAXED variants (LOAD/DIST/HOR/VER) on Multi-peak.
+
+Paper: 512×512 multi-peak (3 peaks), 10 instances; HIER-RELAXED-LOAD is the
+best variant overall.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig04_hier_relaxed_variants
+
+from .conftest import run_figure
+
+
+def test_fig04(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig04_hier_relaxed_variants, scale, results_dir)
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    assert means["HIER-RELAXED-LOAD"] <= min(means.values()) + 0.05

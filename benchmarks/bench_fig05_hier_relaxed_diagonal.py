@@ -1,0 +1,19 @@
+"""Figure 5: HIER-RELAXED variants on the Diagonal instance.
+
+Paper: 4096×4096 diagonal; shows the convergence behaviour of the -HOR/-VER
+variants towards -LOAD as m grows.
+"""
+
+from repro.experiments.figures import fig05_hier_relaxed_diagonal
+
+from .conftest import run_figure
+
+
+def test_fig05(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig05_hier_relaxed_diagonal, scale, results_dir)
+    assert set(res.series) == {
+        "HIER-RELAXED-LOAD",
+        "HIER-RELAXED-DIST",
+        "HIER-RELAXED-HOR",
+        "HIER-RELAXED-VER",
+    }

@@ -1,0 +1,68 @@
+"""Figure 6: execution time of the algorithms on Uniform Δ=1.2.
+
+Two views:
+
+* ``test_fig06_series`` — the full sweep over m (the paper's chart), printed
+  and saved as CSV;
+* ``test_runtime_<algo>`` — per-algorithm pytest-benchmark entries at a fixed
+  m, so the pytest-benchmark comparison table itself mirrors the figure.
+
+Paper ordering to verify: RECT-UNIFORM ≪ HIER-RB < JAG-*-HEUR ≈ RECT-NICOL <
+HIER-RELAXED ≪ JAG-PQ-OPT ≪ JAG-M-OPT.
+"""
+
+import pytest
+
+from repro.core.prefix import PrefixSum2D
+from repro.core.registry import ALGORITHMS
+from repro.experiments.figures import fig06_runtime
+from repro.instances import uniform
+
+from .conftest import run_figure
+
+
+def test_fig06_series(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig06_runtime, scale, results_dir)
+    # Shape: at the largest m, RECT-UNIFORM (trivial output) is fastest and
+    # the exact jagged algorithms are the slowest — checked on aggregate to
+    # stay robust against wall-clock noise at millisecond scales.
+    by_m = {}
+    for name, pts in res.series.items():
+        for x, y in pts:
+            by_m.setdefault(x, {})[name] = y
+    top_m = max(by_m)
+    times = by_m[top_m]
+    assert times["RECT-UNIFORM"] == min(times.values()), (top_m, times)
+    if "JAG-PQ-OPT" in times:
+        heur_max = max(times[n] for n in times if "OPT" not in n)
+        assert times["JAG-PQ-OPT"] >= 0.5 * heur_max, (top_m, times)
+
+
+@pytest.fixture(scope="module")
+def fig06_instance(scale):
+    A = uniform(scale.n_uniform, 1.2, seed=0)
+    return PrefixSum2D(A), min(1024, max(scale.m_values))
+
+
+@pytest.mark.parametrize(
+    "algo",
+    [
+        "RECT-UNIFORM",
+        "RECT-NICOL",
+        "JAG-PQ-HEUR",
+        "JAG-M-HEUR",
+        "HIER-RB",
+        "HIER-RELAXED",
+        "JAG-PQ-OPT",
+    ],
+)
+def test_runtime_algorithms(benchmark, fig06_instance, algo):
+    pref, m = fig06_instance
+    benchmark(ALGORITHMS[algo], pref, m)
+
+
+def test_runtime_jag_m_opt(benchmark, fig06_instance, scale):
+    """JAG-M-OPT at its capped m (the paper stops at 1,000 processors)."""
+    pref, _ = fig06_instance
+    m = min(scale.m_cap_m_opt, 100)
+    benchmark.pedantic(ALGORITHMS["JAG-M-OPT"], args=(pref, m), rounds=1, iterations=1)

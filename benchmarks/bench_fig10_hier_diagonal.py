@@ -1,0 +1,18 @@
+"""Figure 10: HIER-RB vs HIER-RELAXED on the Diagonal instance.
+
+Paper: 4096×4096 diagonal; "It is clear that HIER-RELAXED leads to a better
+load balance than HIER-RB."
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig10_hier_diagonal
+
+from .conftest import run_figure
+
+
+def test_fig10(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig10_hier_diagonal, scale, results_dir)
+    rb = dict(res.series["HIER-RB"])
+    rx = dict(res.series["HIER-RELAXED"])
+    assert np.mean(list(rx.values())) <= np.mean(list(rb.values())) + 1e-9

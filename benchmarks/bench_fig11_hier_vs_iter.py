@@ -1,0 +1,18 @@
+"""Figure 11: hierarchical methods across the PIC-MAG run at fixed m.
+
+Paper: m = 400; documents the erratic behaviour of HIER-RELAXED over the
+course of the dynamic application while HIER-RB stays comparatively flat.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig11_hier_vs_iteration
+
+from .conftest import run_figure
+
+
+def test_fig11(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig11_hier_vs_iteration, scale, results_dir)
+    assert set(res.series) == {"HIER-RB", "HIER-RELAXED"}
+    for pts in res.series.values():
+        assert all(np.isfinite(y) for _, y in pts)

@@ -1,0 +1,22 @@
+"""Figure 12: all heuristics across the PIC-MAG run at large fixed m.
+
+Paper: m = 9,216; RECT-UNIFORM 30–45%, RECT-NICOL ≈ JAG-PQ-HEUR ≈ 28%,
+HIER-RB 20–30%, HIER-RELAXED mostly below 10%, JAG-M-HEUR best in all but
+two iterations.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig12_all_vs_iteration
+
+from .conftest import run_figure
+
+
+def test_fig12(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig12_all_vs_iteration, scale, results_dir)
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    # the load-oblivious baseline is the worst on aggregate
+    assert means["RECT-UNIFORM"] >= max(means.values()) - 1e-9
+    # the paper's proposed heuristic beats the classical stripe methods
+    assert means["JAG-M-HEUR"] <= means["JAG-PQ-HEUR"] + 1e-9
+    assert means["JAG-M-HEUR"] <= means["RECT-NICOL"] + 1e-9

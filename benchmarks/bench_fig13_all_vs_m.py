@@ -1,0 +1,20 @@
+"""Figure 13: all heuristics on the PIC-MAG snapshot at iteration 20,000.
+
+Paper: the RECT-UNIFORM / RECT-NICOL / JAG-PQ-HEUR / HIER-RB conclusions
+carry over from Figure 12; JAG-M-HEUR varies with m (stripe-count artefact)
+and HIER-RELAXED generally leads in this test.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig13_all_vs_m
+
+from .conftest import run_figure
+
+
+def test_fig13(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig13_all_vs_m, scale, results_dir)
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    # load-aware methods beat the uniform baseline on aggregate
+    for name in ("RECT-NICOL", "JAG-PQ-HEUR", "JAG-M-HEUR", "HIER-RB", "HIER-RELAXED"):
+        assert means[name] <= means["RECT-UNIFORM"] + 1e-9, name

@@ -1,0 +1,22 @@
+"""Figure 14: all heuristics on the sparse SLAC mesh instance.
+
+Paper: "Due to the sparsity of the instance, most algorithms get a high load
+imbalance.  Only the hierarchical partitioning algorithms manage to keep the
+imbalance low and HIER-RELAXED gets a lower imbalance than HIER-RB."
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig14_slac
+
+from .conftest import run_figure
+
+
+def test_fig14(benchmark, scale, results_dir):
+    res = run_figure(benchmark, fig14_slac, scale, results_dir)
+    means = {k: np.mean([y for _, y in v]) for k, v in res.series.items()}
+    # hierarchical methods dominate the stripe-based ones on the sparse mesh
+    hier_best = min(means["HIER-RB"], means["HIER-RELAXED"])
+    for name in ("RECT-UNIFORM", "RECT-NICOL", "JAG-PQ-HEUR"):
+        assert hier_best <= means[name] + 1e-9, (name, means)
+    assert means["HIER-RELAXED"] <= means["HIER-RB"] + 1e-9

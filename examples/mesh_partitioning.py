@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Partitioning a projected 3D mesh (the paper's SLAC scenario).
+
+A 3D accelerator-cavity mesh is projected onto a 2D plane and discretized;
+each vertex carries one unit of computation (§4.1).  The resulting load
+matrix is sparse — a third of the cells are zero — the regime of the
+paper's Figure 14, where the area-balancing and rectilinear methods collapse
+while the adaptive classes stay balanced.
+
+This example also maps the partition back to mesh vertices and reports the
+communication that the rectangle decomposition induces.
+
+Run:  python examples/mesh_partitioning.py        (~1 minute)
+"""
+
+import numpy as np
+
+from repro import communication_volume, load_imbalance, partition_2d
+from repro.instances.mesh import CavityConfig, cavity_vertices, project_vertices
+
+N = 256  # discretization granularity ("changing the granularity", §4.1)
+M = 256  # processors
+
+verts = cavity_vertices(CavityConfig())
+A = project_vertices(verts, N)
+print(f"mesh: {len(verts):,} vertices -> {N}x{N} load matrix, "
+      f"{(A == 0).mean():.0%} empty cells\n")
+
+print(f"{'algorithm':<14} {'imbalance':>10} {'boundary edges':>15}")
+results = {}
+for name in ("RECT-UNIFORM", "RECT-NICOL", "JAG-PQ-HEUR", "JAG-M-HEUR",
+             "HIER-RB", "HIER-RELAXED"):
+    part = partition_2d(A, M, name)
+    results[name] = part
+    print(f"{name:<14} {load_imbalance(A, part):>9.2%} "
+          f"{communication_volume(part):>15,}")
+
+# Map vertices to processors through the grid partition (what an application
+# would do) and count how many vertices each processor owns.
+best = results["HIER-RELAXED"]
+u, v = verts[:, 0], verts[:, 1]
+iu = np.clip(((u - u.min()) / (u.max() - u.min() + 1e-12) * N).astype(int), 0, N - 1)
+iv = np.clip(((v - v.min()) / (v.max() - v.min() + 1e-12) * N).astype(int), 0, N - 1)
+owners = best.owner_map()[iu, iv]
+counts = np.bincount(owners, minlength=M)
+print(
+    f"\nHIER-RELAXED vertex ownership: min={counts.min()}, "
+    f"mean={counts.mean():.0f}, max={counts.max()} vertices/processor"
+)
+print(
+    "\nAs in Figure 14 of the paper, the sparse mesh sinks the rectilinear\n"
+    "methods (uniform and refined) while HIER-RELAXED stays lowest; on this\n"
+    "synthetic cavity the jagged heuristics also cope well — the projected\n"
+    "silhouette is more regular than SLAC's production mesh (see\n"
+    "EXPERIMENTS.md for the full comparison)."
+)

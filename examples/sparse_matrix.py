@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""2D decomposition of a sparse matrix for parallel SpMV.
+
+The paper's first motivating application (refs [1]–[3]): distribute a sparse
+matrix over processors as rectangles so that per-processor work (the
+nonzeros inside the rectangle) is balanced.  Power-law matrices (web/social
+graphs, here an R-MAT) are exactly where the uniform block distribution
+falls apart.
+
+Run:  python examples/sparse_matrix.py
+"""
+
+import numpy as np
+
+from repro import load_imbalance, partition_2d
+from repro.core.render import ascii_render
+from repro.instances import spmv_instance
+
+N = 128  # blocking resolution
+M = 64  # processors
+
+for model, label in (("rmat", "R-MAT scale-14 (power-law)"), ("mesh", "5-point stencil mesh")):
+    A = spmv_instance(N, model=model, scale=14, mesh_size=256, seed=1)
+    print(f"=== {label}: {A.sum():,} nonzeros on a {N}x{N} block grid, "
+          f"{(A == 0).mean():.0%} empty blocks")
+    print(f"{'algorithm':<14} {'imbalance':>10}")
+    best = None
+    for name in ("RECT-UNIFORM", "RECT-NICOL", "JAG-PQ-HEUR", "JAG-M-HEUR",
+                 "HIER-RB", "HIER-RELAXED"):
+        part = partition_2d(A, M, name)
+        imb = load_imbalance(A, part)
+        print(f"{name:<14} {imb:>9.2%}")
+        if best is None or imb < best[1]:
+            best = (part, imb, name)
+    part, imb, name = best
+    print(f"\nbest ({name}) as an owner map (rows x cols of the sparse matrix):")
+    print(ascii_render(part, max_width=56, max_height=18))
+    print()
+
+print("The skewed R-MAT nonzeros sink RECT-UNIFORM by an order of magnitude;\n"
+      "adaptive rectangles track the dense low-index corner (top-left).")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Partitioning a 3D load volume into rectangular volumes.
+
+The paper's applications live "in a discrete, two or three-dimensional
+space" and its PIC-MAG data comes from a 3D simulation accumulated to 2D
+(§4.1).  This example skips the accumulation: it builds a 3D
+magnetosphere-like load volume directly and compares the 3D lifts of the
+paper's algorithms — the uniform grid (MPI_Cart-style), the m-way jagged
+heuristic (slabs × 2D jagged), and 3D recursive bisection — on balance and
+ghost-cell communication.
+
+Run:  python examples/volume_partitioning.py        (~30 s)
+"""
+
+import numpy as np
+
+from repro.volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
+
+N = 64
+M = 128
+
+# dense bow-shock-like shell plus a wake tail, in 3D
+i, j, k = np.meshgrid(*[np.arange(N)] * 3, indexing="ij")
+r = np.sqrt((i - 0.62 * N) ** 2 + (j - 0.5 * N) ** 2 + (k - 0.5 * N) ** 2)
+shell = 3500 * np.exp(-((r - 0.22 * N) ** 2) / (2 * (0.05 * N) ** 2))
+wake = 1200 * np.exp(
+    -(((j - 0.5 * N) ** 2 + (k - 0.5 * N) ** 2) / (2 * (0.08 * N) ** 2))
+) * (i > 0.62 * N)
+A = (1000 + shell + wake).astype(np.int64)
+
+pref = PrefixSum3D(A)
+print(f"load volume: {A.shape}, total {pref.total:,}, "
+      f"max/min cell = {A.max() / A.min():.2f}\n")
+
+print(f"{'algorithm':<16} {'imbalance':>10} {'ghost faces':>12} {'max box':>20}")
+for name, fn in (
+    ("VOL-UNIFORM", vol_uniform),
+    ("VOL-JAG-M-HEUR", vol_jag_m_heur),
+    ("VOL-HIER-RB", vol_hier_rb),
+):
+    part = fn(pref, M)
+    part.validate()
+    loads = part.loads(pref)
+    worst = part.boxes[int(np.argmax(loads))]
+    print(
+        f"{name:<16} {part.imbalance(pref):>9.2%} "
+        f"{part.communication_volume():>12,} "
+        f"{str(worst.extents):>20}"
+    )
+
+print(
+    "\nThe load-aware 3D methods shrink boxes around the dense shell and\n"
+    "stretch them through the quiet corners, trading a little surface area\n"
+    "for a much better balance — the same effect the paper shows in 2D."
+)

@@ -1,0 +1,125 @@
+"""Solution-quality metrics and bounds (paper Section 2.1, plus the
+communication/migration measures motivating the paper's future work).
+
+* ``Lavg``-based lower bound, max-element lower bound,
+* the DirectCut upper bound ``L*max <= sum/m + max`` (Section 2.2),
+* load imbalance ``Lmax/Lavg - 1``,
+* communication volume (boundary-cell edges, the quantity rectangles
+  implicitly minimize, Section 1),
+* migration volume between two successive partitions (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .partition import Partition
+from .prefix import MatrixLike, prefix_2d
+
+__all__ = [
+    "lower_bound",
+    "upper_bound",
+    "load_imbalance",
+    "communication_volume",
+    "max_boundary",
+    "migration_volume",
+    "neighbor_counts",
+]
+
+
+def lower_bound(A: MatrixLike, m: int) -> int:
+    """Lower bound on the optimal maximum load.
+
+    ``L*max >= max(ceil(sum(A)/m), max(A))`` — both bounds of Section 2.1
+    (with the ceiling valid because loads are integers).
+    """
+    pref = prefix_2d(A)
+    return max(-(-pref.total // m), pref.max_element())
+
+
+def upper_bound(A: MatrixLike, m: int) -> int:
+    """Upper bound ``L*max <= sum(A)/m + max(A)`` from DirectCut (§2.2).
+
+    The bound holds for the 1D problem on the flattened array, which is a
+    relaxation-free feasible 2D solution only for row counts dividing nicely;
+    we use it as the safe initial incumbent for bisection searches on single
+    rows/stripes, and as the paper does, as a coarse optimum bracket.
+    """
+    pref = prefix_2d(A)
+    return int(pref.total // m + pref.max_element() + 1)
+
+
+def load_imbalance(A: MatrixLike, partition: Partition) -> float:
+    """Load imbalance ``Lmax / Lavg - 1`` of a partition (Section 2.1)."""
+    return partition.imbalance(A)
+
+
+def communication_volume(partition: Partition) -> int:
+    """Total number of grid edges crossing rectangle boundaries.
+
+    Each cell communicates with its 4-neighbours (Section 1); an edge between
+    two cells owned by different processors costs one unit in each direction.
+    For a valid rectangle partition this equals the sum of the rectangles'
+    interior boundary lengths divided by... each crossing edge is counted once
+    from each side, so the sum of boundary lengths counts every cross edge
+    exactly twice.  We return the number of crossing edges (undirected).
+    """
+    n1, n2 = partition.shape
+    total = sum(r.boundary_length(n1, n2) for r in partition.rects)
+    return total // 2
+
+
+def max_boundary(partition: Partition) -> int:
+    """Largest per-processor boundary (a per-step communication bottleneck)."""
+    n1, n2 = partition.shape
+    if not partition.rects:
+        return 0
+    return max(r.boundary_length(n1, n2) for r in partition.rects)
+
+
+def neighbor_counts(partition: Partition) -> np.ndarray:
+    """Number of distinct neighbouring processors of each processor.
+
+    Two processors are neighbours when their rectangles share a positive-
+    length edge segment (diagonal touching does not exchange halo data in a
+    4-neighbour stencil).  This is the per-processor *message count* of a
+    halo exchange — the latency term of the communication model, next to
+    :func:`max_boundary`'s bandwidth term.  O(m²) pairwise, vectorized.
+    """
+    coords = partition.coords()
+    m = len(coords)
+    out = np.zeros(m, dtype=np.int64)
+    if m == 0:
+        return out
+    r0, r1, c0, c1 = coords.T
+    nonempty = (r1 > r0) & (c1 > c0)
+    # vertical adjacency: column ranges overlap and one's bottom is the
+    # other's top; horizontal symmetrically
+    col_overlap = (c0[:, None] < c1[None, :]) & (c0[None, :] < c1[:, None])
+    row_overlap = (r0[:, None] < r1[None, :]) & (r0[None, :] < r1[:, None])
+    vert = col_overlap & ((r1[:, None] == r0[None, :]) | (r0[:, None] == r1[None, :]))
+    horiz = row_overlap & ((c1[:, None] == c0[None, :]) | (c0[:, None] == c1[None, :]))
+    adj = (vert | horiz) & nonempty[:, None] & nonempty[None, :]
+    np.fill_diagonal(adj, False)
+    return adj.sum(axis=1).astype(np.int64)
+
+
+def migration_volume(
+    old: Partition, new: Partition, A: MatrixLike
+) -> int:
+    """Load that changes owner between two partitions of the same matrix.
+
+    Computed exactly from rectangle intersections: processor ``i`` keeps the
+    load of ``old[i] ∩ new[i]``; everything else migrates.  This is the data
+    (re)migration cost of dynamic applications discussed in Section 5.
+    """
+    if old.shape != new.shape:
+        raise ValueError("partitions cover different matrices")
+    pref = prefix_2d(A)
+    m = min(old.m, new.m)
+    kept = 0
+    for i in range(m):
+        inter = old.rects[i].intersect(new.rects[i])
+        if inter is not None:
+            kept += pref.load(inter.r0, inter.r1, inter.c0, inter.c1)
+    return pref.total - kept

@@ -1,0 +1,250 @@
+"""Partition container: m rectangles forming a partition of a load matrix.
+
+Implements the validity test of Section 2.1 of the paper (pairwise
+disjointness + full coverage), load/imbalance metrics, and cell→processor
+lookup.  Structured algorithm families attach a fast *indexer* (rectilinear:
+two binary searches; jagged: stripe then in-stripe search; hierarchical: tree
+descent) matching the paper's remark that compact representations "allow to
+easily find which processor a given cell is allocated to".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .errors import InvalidPartitionError, ParameterError
+from .prefix import MatrixLike, PrefixSum2D, prefix_2d
+from .rectangle import Rect
+
+__all__ = ["Partition"]
+
+# A cell indexer maps (i, j) -> processor index.
+Indexer = Callable[[int, int], int]
+
+
+class Partition:
+    """A set of ``m`` rectangles partitioning an ``n1 × n2`` matrix.
+
+    Parameters
+    ----------
+    rects:
+        One rectangle per processor; empty rectangles (zero area) are allowed
+        and represent idle processors.
+    shape:
+        Shape ``(n1, n2)`` of the partitioned matrix.
+    method:
+        Optional name of the generating algorithm (for reporting).
+    indexer:
+        Optional O(log)-time cell→processor lookup; a linear scan is used
+        otherwise.
+    meta:
+        Free-form metadata recorded by the generating algorithm (stripe cuts,
+        tree root, iteration counts, ...).
+    """
+
+    __slots__ = ("rects", "shape", "method", "meta", "_indexer")
+
+    def __init__(
+        self,
+        rects: Sequence[Rect],
+        shape: tuple[int, int],
+        *,
+        method: str = "",
+        indexer: Optional[Indexer] = None,
+        meta: Optional[dict] = None,
+    ):
+        self.rects: tuple[Rect, ...] = tuple(rects)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.method = method
+        self.meta = dict(meta or {})
+        self._indexer = indexer
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of processors (rectangles), including idle ones."""
+        return len(self.rects)
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    def __iter__(self):
+        return iter(self.rects)
+
+    def __getitem__(self, i: int) -> Rect:
+        return self.rects[i]
+
+    def __repr__(self) -> str:
+        name = self.method or "Partition"
+        return f"<{name} m={self.m} shape={self.shape}>"
+
+    # ------------------------------------------------------------------
+    # geometry / validity
+    # ------------------------------------------------------------------
+    def coords(self) -> np.ndarray:
+        """``(m, 4)`` int array of ``(r0, r1, c0, c1)`` rows."""
+        if not self.rects:
+            return np.zeros((0, 4), dtype=np.int64)
+        return np.array(
+            [(r.r0, r.r1, r.c0, r.c1) for r in self.rects], dtype=np.int64
+        )
+
+    def validate(self, *, method: str = "auto") -> None:
+        """Check the two validity properties of Section 2.1.
+
+        1. the rectangles are pairwise disjoint (no collision), and
+        2. they cover the whole matrix (all inside ``A`` and the areas sum to
+           the area of ``A``).
+
+        ``method`` is ``"pairwise"`` (the paper's O(m²) test, vectorized),
+        ``"paint"`` (O(n1·n2·…) owner-map painting, exact and simple), or
+        ``"auto"`` (paint for small grids, pairwise otherwise).
+
+        Raises
+        ------
+        InvalidPartitionError
+            If either property fails.
+        """
+        n1, n2 = self.shape
+        coords = self.coords()
+        if coords.size == 0:
+            raise InvalidPartitionError("partition has no rectangles")
+        nonempty = coords[(coords[:, 1] > coords[:, 0]) & (coords[:, 3] > coords[:, 2])]
+        if (
+            (nonempty[:, 0] < 0).any()
+            or (nonempty[:, 2] < 0).any()
+            or (nonempty[:, 1] > n1).any()
+            or (nonempty[:, 3] > n2).any()
+        ):
+            raise InvalidPartitionError("rectangle outside the matrix")
+        areas = (nonempty[:, 1] - nonempty[:, 0]) * (nonempty[:, 3] - nonempty[:, 2])
+        if int(areas.sum()) != n1 * n2:
+            raise InvalidPartitionError(
+                f"areas sum to {int(areas.sum())}, expected {n1 * n2}"
+            )
+        if method == "auto":
+            method = "paint" if n1 * n2 <= 1 << 20 else "pairwise"
+        if method == "paint":
+            owner = self.owner_map()
+            if (owner < 0).any():
+                raise InvalidPartitionError("uncovered cell detected")
+            # area check above + full cover ⇒ disjoint, but double-check counts
+            counts = np.bincount(owner.ravel(), minlength=self.m)
+            my_areas = np.array([r.area for r in self.rects])
+            if (counts > my_areas).any():
+                raise InvalidPartitionError("overlapping rectangles detected")
+        elif method == "pairwise":
+            self._validate_pairwise(nonempty)
+        else:
+            raise ParameterError(f"unknown validation method {method!r}")
+
+    def _validate_pairwise(self, coords: np.ndarray, chunk: int = 512) -> None:
+        """Vectorized O(m²) pairwise overlap test (chunked for memory)."""
+        r0, r1, c0, c1 = coords.T
+        k = len(coords)
+        for lo in range(0, k, chunk):
+            hi = min(lo + chunk, k)
+            # overlap(a, b) for a in [lo,hi) against all b > a
+            ov = (
+                (r0[lo:hi, None] < r1[None, :])
+                & (r0[None, :] < r1[lo:hi, None])
+                & (c0[lo:hi, None] < c1[None, :])
+                & (c0[None, :] < c1[lo:hi, None])
+            )
+            idx = np.arange(lo, hi)[:, None] >= np.arange(k)[None, :]
+            ov &= ~idx  # keep strictly-upper pairs only
+            if ov.any():
+                a, b = np.argwhere(ov)[0]
+                raise InvalidPartitionError(
+                    f"rectangles overlap: {coords[lo + a]} and {coords[b]}"
+                )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate()
+        except InvalidPartitionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # loads and metrics
+    # ------------------------------------------------------------------
+    def loads(self, A: MatrixLike) -> np.ndarray:
+        """Per-processor loads ``L(r_i)`` as an int64 array of length ``m``."""
+        pref = prefix_2d(A)
+        G = pref.G
+        coords = self.coords()
+        if coords.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        r0, r1, c0, c1 = coords.T
+        return G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0]
+
+    def max_load(self, A: MatrixLike) -> int:
+        """Load of the most loaded processor (the paper's ``Lmax``)."""
+        return int(self.loads(A).max())
+
+    def imbalance(self, A: MatrixLike) -> float:
+        """Load imbalance ``Lmax / Lavg - 1`` (Section 2.1)."""
+        pref = prefix_2d(A)
+        lavg = pref.total / self.m
+        if lavg == 0:
+            return 0.0
+        return self.max_load(pref) / lavg - 1.0
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def owner_of(self, i: int, j: int) -> int:
+        """Processor index owning cell ``(i, j)``.
+
+        Uses the structure-specific indexer when available, otherwise a
+        linear scan over the rectangles.
+        """
+        n1, n2 = self.shape
+        if not (0 <= i < n1 and 0 <= j < n2):
+            raise ParameterError(f"cell ({i}, {j}) outside matrix {self.shape}")
+        if self._indexer is not None:
+            return self._indexer(i, j)
+        for k, r in enumerate(self.rects):
+            if r.contains(i, j):
+                return k
+        raise InvalidPartitionError(f"cell ({i}, {j}) is not covered")
+
+    def owner_map(self) -> np.ndarray:
+        """Paint an ``n1 × n2`` int array of owner indices (-1 = uncovered).
+
+        O(total rectangle area); intended for metrics and small/medium grids.
+        """
+        n1, n2 = self.shape
+        owner = np.full((n1, n2), -1, dtype=np.int32)
+        for k, r in enumerate(self.rects):
+            if not r.is_empty:
+                owner[r.r0 : r.r1, r.c0 : r.c1] = k
+        return owner
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Partition":
+        """Partition of the transposed matrix (swap axes of every rectangle)."""
+        idx = self._indexer
+        t_indexer = (lambda i, j: idx(j, i)) if idx is not None else None
+        return Partition(
+            [r.transpose() for r in self.rects],
+            (self.shape[1], self.shape[0]),
+            method=self.method,
+            indexer=t_indexer,
+            meta=dict(self.meta),
+        )
+
+    def with_method(self, name: str) -> "Partition":
+        """Copy of this partition tagged with a different method name."""
+        p = Partition(
+            self.rects, self.shape, method=name, indexer=self._indexer, meta=self.meta
+        )
+        return p

@@ -1,0 +1,191 @@
+"""Prefix-sum substrates for O(1) interval and rectangle load queries.
+
+The paper (Section 2.1) assumes the load matrix ``A`` is given as a 2D prefix
+sum array ``Γ`` with ``Γ[x][y] = sum_{x'<=x, y'<=y} A[x'][y']`` so that the
+load of a rectangle is computed in O(1).  This module provides that substrate
+for both one and two dimensions, using NumPy and half-open index conventions
+(``[lo, hi)``), which map directly onto array slices.
+
+All loads are kept as ``int64``: the evaluation instances are integer load
+matrices, and exact integer arithmetic lets the optimal algorithms use exact
+bisection on the bottleneck value.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .errors import ParameterError
+
+__all__ = ["PrefixSum1D", "PrefixSum2D", "prefix_1d", "prefix_2d", "as_load_matrix"]
+
+
+def as_load_matrix(A: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize a load matrix to a 2D C-contiguous int64 array.
+
+    Negative entries are rejected; zero entries are allowed (sparse instances
+    such as the SLAC mesh contain zeros, cf. paper Section 4.1).
+    """
+    A = np.asarray(A)
+    if A.ndim != 2:
+        raise ParameterError(f"load matrix must be 2D, got shape {A.shape}")
+    if A.size == 0:
+        raise ParameterError("load matrix must be non-empty")
+    if not np.issubdtype(A.dtype, np.integer):
+        if np.issubdtype(A.dtype, np.floating):
+            if not np.allclose(A, np.rint(A)):
+                raise ParameterError("load matrix must contain integers")
+            A = np.rint(A)
+        else:
+            raise ParameterError(f"unsupported dtype {A.dtype}")
+    A = np.ascontiguousarray(A, dtype=np.int64)
+    if (A < 0).any():
+        raise ParameterError("load matrix entries must be non-negative")
+    return A
+
+
+def prefix_1d(values: np.ndarray) -> np.ndarray:
+    """Return the length ``n+1`` prefix-sum array of a 1D load array.
+
+    ``P[i]`` is the sum of the first ``i`` elements, so the load of the
+    half-open interval ``[i, j)`` is ``P[j] - P[i]``.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ParameterError("expected a 1D array")
+    out = np.zeros(len(values) + 1, dtype=np.int64)
+    np.cumsum(values, out=out[1:], dtype=np.int64)
+    return out
+
+
+class PrefixSum1D:
+    """One-dimensional prefix-sum array with O(1) interval loads.
+
+    Parameters
+    ----------
+    values:
+        Either the raw 1D load array, or (with ``is_prefix=True``) an already
+        computed prefix array of length ``n+1`` starting at 0.
+    """
+
+    __slots__ = ("P", "n")
+
+    def __init__(self, values: np.ndarray, *, is_prefix: bool = False):
+        if is_prefix:
+            P = np.ascontiguousarray(values, dtype=np.int64)
+            if P.ndim != 1 or len(P) < 1 or P[0] != 0:
+                raise ParameterError("prefix array must be 1D and start at 0")
+        else:
+            P = prefix_1d(values)
+        self.P = P
+        self.n = len(P) - 1
+
+    @property
+    def total(self) -> int:
+        """Total load of the array."""
+        return int(self.P[-1])
+
+    def load(self, lo: int, hi: int) -> int:
+        """Load of the half-open interval ``[lo, hi)``."""
+        return int(self.P[hi] - self.P[lo])
+
+    def max_element(self) -> int:
+        """Largest single-element load (the second lower bound of §2.1)."""
+        if self.n == 0:
+            return 0
+        return int(np.max(np.diff(self.P)))
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class PrefixSum2D:
+    """Two-dimensional prefix-sum array ``Γ`` with O(1) rectangle loads.
+
+    ``Γ`` has shape ``(n1+1, n2+1)``; the load of the half-open rectangle
+    ``[r0, r1) × [c0, c1)`` is::
+
+        Γ[r1, c1] - Γ[r0, c1] - Γ[r1, c0] + Γ[r0, c0]
+
+    which is the half-open form of the formula in Section 2.1 of the paper.
+    """
+
+    __slots__ = ("G", "n1", "n2")
+
+    def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
+        if is_prefix:
+            G = np.ascontiguousarray(A, dtype=np.int64)
+            if G.ndim != 2 or G[0, 0] != 0 or (G[0, :] != 0).any() or (G[:, 0] != 0).any():
+                raise ParameterError("2D prefix array must have a zero first row/column")
+        else:
+            A = as_load_matrix(A)
+            G = np.zeros((A.shape[0] + 1, A.shape[1] + 1), dtype=np.int64)
+            np.cumsum(A, axis=0, out=G[1:, 1:], dtype=np.int64)
+            np.cumsum(G[1:, 1:], axis=1, out=G[1:, 1:])
+        self.G = G
+        self.n1 = G.shape[0] - 1
+        self.n2 = G.shape[1] - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape ``(n1, n2)`` of the underlying load matrix."""
+        return (self.n1, self.n2)
+
+    @property
+    def total(self) -> int:
+        """Total load of the matrix."""
+        return int(self.G[-1, -1])
+
+    def load(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Load of the half-open rectangle ``[r0, r1) × [c0, c1)``."""
+        G = self.G
+        return int(G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0])
+
+    def axis_prefix(self, axis: int, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Prefix array along ``axis`` restricted to band ``[lo, hi)`` of the other axis.
+
+        For ``axis == 0`` this returns the length ``n1+1`` prefix of the row
+        sums of columns ``[lo, hi)`` — i.e. the projection of the band onto
+        the first dimension (paper §3.2: "there is actually no projection to
+        make", the prefix differences suffice).  The result is a fresh array
+        (one vectorized subtraction of two views of ``Γ``).
+        """
+        if axis == 0:
+            hi = self.n2 if hi is None else hi
+            return self.G[:, hi] - self.G[:, lo]
+        elif axis == 1:
+            hi = self.n1 if hi is None else hi
+            return self.G[hi, :] - self.G[lo, :]
+        raise ParameterError(f"axis must be 0 or 1, got {axis}")
+
+    def band_prefix(self, axis: int, lo: int, hi: int, j0: int, j1: int) -> np.ndarray:
+        """Prefix along ``axis`` of the sub-rectangle band.
+
+        Like :meth:`axis_prefix` but additionally windowed to ``[j0, j1)``
+        along ``axis`` itself and re-based so the first entry is 0.  Used by
+        hierarchical algorithms working on sub-rectangles.
+        """
+        p = self.axis_prefix(axis, lo, hi)[j0 : j1 + 1]
+        return p - p[0]
+
+    def max_element(self) -> int:
+        """Largest single cell load (lower bound ``max A[x][y]`` of §2.1)."""
+        # Reconstruct cell loads from Γ by double differencing; vectorized.
+        d = np.diff(np.diff(self.G, axis=0), axis=1)
+        return int(d.max()) if d.size else 0
+
+    def transpose(self) -> "PrefixSum2D":
+        """Prefix of the transposed matrix (for -VER algorithm variants)."""
+        return PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
+
+
+MatrixLike = Union[np.ndarray, PrefixSum2D]
+
+
+def prefix_2d(A: MatrixLike) -> PrefixSum2D:
+    """Coerce a raw matrix or an existing :class:`PrefixSum2D` to a prefix."""
+    if isinstance(A, PrefixSum2D):
+        return A
+    return PrefixSum2D(A)

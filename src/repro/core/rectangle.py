@@ -1,0 +1,115 @@
+"""Axis-aligned rectangles with half-open index semantics.
+
+A rectangle ``Rect(r0, r1, c0, c1)`` covers matrix cells ``(i, j)`` with
+``r0 <= i < r1`` and ``c0 <= j < c1``.  The paper uses inclusive coordinates
+``(x1, x2, y1, y2)``; the half-open convention used here maps directly onto
+NumPy slices (``A[r0:r1, c0:c1]``) and removes the off-by-one terms from the
+prefix-sum formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Half-open rectangle ``[r0, r1) × [c0, c1)``."""
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+
+    def __post_init__(self) -> None:
+        if self.r1 < self.r0 or self.c1 < self.c0:
+            raise ValueError(f"malformed rectangle {self!r}")
+
+    @property
+    def height(self) -> int:
+        """Number of rows covered."""
+        return self.r1 - self.r0
+
+    @property
+    def width(self) -> int:
+        """Number of columns covered."""
+        return self.c1 - self.c0
+
+    @property
+    def area(self) -> int:
+        """Number of cells covered."""
+        return self.height * self.width
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle covers no cell."""
+        return self.r1 == self.r0 or self.c1 == self.c0
+
+    def contains(self, i: int, j: int) -> bool:
+        """Whether cell ``(i, j)`` lies inside this rectangle."""
+        return self.r0 <= i < self.r1 and self.c0 <= j < self.c1
+
+    def intersect(self, other: "Rect") -> Optional["Rect"]:
+        """Intersection rectangle, or None when the interiors are disjoint."""
+        r0 = max(self.r0, other.r0)
+        r1 = min(self.r1, other.r1)
+        c0 = max(self.c0, other.c0)
+        c1 = min(self.c1, other.c1)
+        if r0 >= r1 or c0 >= c1:
+            return None
+        return Rect(r0, r1, c0, c1)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two rectangles share at least one cell."""
+        return (
+            self.r0 < other.r1
+            and other.r0 < self.r1
+            and self.c0 < other.c1
+            and other.c0 < self.c1
+        )
+
+    def transpose(self) -> "Rect":
+        """Swap the row and column axes (used by -VER algorithm variants)."""
+        return Rect(self.c0, self.c1, self.r0, self.r1)
+
+    def shift(self, dr: int, dc: int) -> "Rect":
+        """Translate by ``(dr, dc)`` (used when lifting sub-problem solutions)."""
+        return Rect(self.r0 + dr, self.r1 + dr, self.c0 + dc, self.c1 + dc)
+
+    def to_inclusive(self) -> tuple[int, int, int, int]:
+        """Coordinates in the paper's inclusive ``(x1, x2, y1, y2)`` convention.
+
+        Only valid for non-empty rectangles.
+        """
+        if self.is_empty:
+            raise ValueError("empty rectangle has no inclusive form")
+        return (self.r0, self.r1 - 1, self.c0, self.c1 - 1)
+
+    def cells(self) -> Iterator[tuple[int, int]]:
+        """Iterate over covered cells (test/debug helper; O(area))."""
+        for i in range(self.r0, self.r1):
+            for j in range(self.c0, self.c1):
+                yield (i, j)
+
+    def boundary_length(self, n1: int, n2: int) -> int:
+        """Number of cell edges shared with *other* cells of an ``n1×n2`` grid.
+
+        This is the rectangle perimeter minus the portions lying on the
+        matrix border — the communication volume proxy of the paper's
+        future-work discussion (a cell only talks to its 4-neighbours).
+        """
+        if self.is_empty:
+            return 0
+        per = 0
+        if self.r0 > 0:
+            per += self.width
+        if self.r1 < n1:
+            per += self.width
+        if self.c0 > 0:
+            per += self.height
+        if self.c1 < n2:
+            per += self.height
+        return per

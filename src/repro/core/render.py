@@ -1,0 +1,108 @@
+"""Render partitions for terminals and docs (ASCII art and PPM images).
+
+The paper communicates partition structure visually (Figure 1); these
+helpers do the same for any :class:`~repro.core.partition.Partition` without
+adding a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .errors import ParameterError
+from .partition import Partition
+from .prefix import MatrixLike, prefix_2d
+
+__all__ = ["ascii_render", "save_ppm"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ#@%&*+=?"
+
+
+def ascii_render(
+    partition: Partition, *, max_width: int = 64, max_height: int = 32
+) -> str:
+    """Owner map as ASCII art, downsampled to fit the requested size.
+
+    Each character is one sampled cell, cycling through 70 glyphs; adjacent
+    rectangles virtually always receive different glyphs, so the structure
+    (rectilinear grid, jagged stripes, hierarchical cuts, spiral strips) is
+    readable at a glance.
+    """
+    if max_width < 1 or max_height < 1:
+        raise ParameterError("max_width and max_height must be positive")
+    n1, n2 = partition.shape
+    owner = partition.owner_map()
+    rows = np.linspace(0, n1 - 1, min(n1, max_height)).astype(int)
+    cols = np.linspace(0, n2 - 1, min(n2, max_width)).astype(int)
+    sampled = owner[np.ix_(rows, cols)]
+    lines = [
+        "".join(_GLYPHS[v % len(_GLYPHS)] if v >= 0 else "." for v in line)
+        for line in sampled
+    ]
+    return "\n".join(lines)
+
+
+def save_ppm(
+    partition: Partition,
+    path: str | Path,
+    *,
+    A: MatrixLike | None = None,
+    scale: int = 1,
+) -> Path:
+    """Write the partition as a binary PPM image (no dependencies).
+
+    Rectangles get distinct hues; when the load matrix ``A`` is given, the
+    brightness encodes each cell's load (the paper's Figure 2 style: "the
+    whiter the more computation").
+    """
+    if scale < 1:
+        raise ParameterError("scale must be >= 1")
+    owner = partition.owner_map().astype(np.int64)
+    n1, n2 = owner.shape
+    # golden-ratio hue walk gives well-separated colours for any m
+    hues = (np.arange(max(partition.m, 1)) * 0.61803398875) % 1.0
+    rgb = _hsv_to_rgb(hues, 0.55, 0.95)
+    img = rgb[np.clip(owner, 0, None)]
+    img[owner < 0] = 0.0
+    if A is not None:
+        pref = prefix_2d(A)
+        cells = np.diff(np.diff(pref.G, axis=0), axis=1).astype(np.float64)
+        lo, hi = cells.min(), cells.max()
+        shade = 0.35 + 0.65 * (cells - lo) / (hi - lo) if hi > lo else np.ones_like(cells)
+        img = img * shade[..., None]
+    img8 = (np.clip(img, 0, 1) * 255).astype(np.uint8)
+    if scale > 1:
+        img8 = np.repeat(np.repeat(img8, scale, axis=0), scale, axis=1)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fh:
+        fh.write(f"P6 {img8.shape[1]} {img8.shape[0]} 255\n".encode())
+        fh.write(img8.tobytes())
+    return path
+
+
+def _hsv_to_rgb(h: np.ndarray, s: float, v: float) -> np.ndarray:
+    """Vectorized HSV→RGB for hue arrays with scalar s, v."""
+    i = np.floor(h * 6.0).astype(int) % 6
+    f = h * 6.0 - np.floor(h * 6.0)
+    p = v * (1.0 - s)
+    q = v * (1.0 - f * s)
+    t = v * (1.0 - (1.0 - f) * s)
+    out = np.empty((len(h), 3))
+    vv = np.full_like(f, v)
+    table = [
+        (vv, t, np.full_like(f, p)),
+        (q, vv, np.full_like(f, p)),
+        (np.full_like(f, p), vv, t),
+        (np.full_like(f, p), q, vv),
+        (t, np.full_like(f, p), vv),
+        (vv, np.full_like(f, p), q),
+    ]
+    for idx, (r, g, b) in enumerate(table):
+        mask = i == idx
+        out[mask, 0] = r[mask]
+        out[mask, 1] = g[mask]
+        out[mask, 2] = b[mask]
+    return out

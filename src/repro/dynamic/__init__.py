@@ -1,0 +1,5 @@
+"""Dynamic repartitioning with migration awareness (§5 future work)."""
+
+from .incremental import IncrementalJagged, refine_jagged
+
+__all__ = ["IncrementalJagged", "refine_jagged"]

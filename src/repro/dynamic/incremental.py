@@ -1,0 +1,135 @@
+"""Migration-aware dynamic repartitioning (paper §5 future work).
+
+The paper closes with: "we plan to investigate … taking into account data
+migration costs in dynamic applications."  This module implements the
+natural first answer for the jagged class:
+
+:class:`IncrementalJagged` keeps the *stripe structure* of the previous
+m-way jagged partition and only re-optimizes the per-stripe column cuts on
+each new load matrix.  Because a processor's stripe (and its position inside
+the stripe) is stable, most cells keep their owner; a full JAG-M-HEUR
+repartition is triggered only when the achievable imbalance under the frozen
+stripes drifts past a threshold over the best fresh partition.
+
+This trades balance for migration:
+
+* refine-only step — cheap (P optimal 1D calls), low migration;
+* full repartition — the paper's JAG-M-HEUR, as balanced as Figure 8, but
+  moving much more data.
+
+The strategy plugs into :class:`repro.runtime.BSPSimulator` via
+:meth:`IncrementalJagged.partitioner`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ParameterError
+from ..core.partition import Partition
+from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+from ..jagged.common import build_jagged_partition
+from ..jagged.m_heur import jag_m_heur
+from ..oned.api import ONED_METHODS
+
+__all__ = ["IncrementalJagged", "refine_jagged"]
+
+
+def refine_jagged(
+    previous: Partition, A: MatrixLike, *, oned: str = "nicolplus"
+) -> Partition:
+    """Re-optimize the column cuts of a jagged partition for a new matrix.
+
+    The stripe cuts and per-stripe processor counts of ``previous`` are kept
+    verbatim; each stripe's auxiliary dimension is re-partitioned optimally.
+    ``previous`` must carry jagged metadata (``stripe_cuts``/``col_cuts``),
+    i.e. come from a jagged algorithm or an earlier refinement.
+    """
+    if "stripe_cuts" not in previous.meta:
+        raise ParameterError("previous partition is not jagged (no stripe_cuts meta)")
+    pref = prefix_2d(A)
+    transposed = bool(previous.meta.get("transposed", False))
+    work = pref.transpose() if transposed else pref
+    stripe_cuts = np.asarray(previous.meta["stripe_cuts"], dtype=np.int64)
+    old_cols = previous.meta["col_cuts"]
+    if int(stripe_cuts[-1]) != work.n1:
+        raise ParameterError("previous partition does not match the matrix shape")
+    solve = ONED_METHODS[oned]
+    col_cuts = []
+    for s in range(len(stripe_cuts) - 1):
+        q = len(old_cols[s]) - 1
+        band = work.band_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), 0, work.n2)
+        _, cc = solve(band, q)
+        col_cuts.append(cc)
+    part = build_jagged_partition(
+        work, stripe_cuts, col_cuts, method="JAG-M-REFINE", pad_to=previous.m
+    )
+    part.meta["transposed"] = transposed
+    if transposed:
+        out = part.transpose().with_method("JAG-M-REFINE")
+        out.meta["transposed"] = True
+        out.meta["stripe_cuts"] = stripe_cuts
+        out.meta["col_cuts"] = col_cuts
+        return out
+    return part
+
+
+class IncrementalJagged:
+    """Stateful repartitioner: refine cheaply, rebuild only when drifted.
+
+    Parameters
+    ----------
+    m:
+        Number of processors.
+    threshold:
+        Relative drift tolerance: a full repartition happens when the
+        refined partition's max load exceeds ``(1 + threshold)`` times the
+        max load of a fresh JAG-M-HEUR partition.
+    oned:
+        1D method used for the refinements.
+    """
+
+    def __init__(self, m: int, *, threshold: float = 0.10, oned: str = "nicolplus"):
+        if m <= 0:
+            raise ParameterError("m must be positive")
+        if threshold < 0:
+            raise ParameterError("threshold must be non-negative")
+        self.m = m
+        self.threshold = threshold
+        self.oned = oned
+        self.current: Partition | None = None
+        self.full_repartitions = 0
+        self.refinements = 0
+
+    def _fresh(self, pref: PrefixSum2D) -> Partition:
+        part = jag_m_heur(pref, self.m, oned=self.oned)
+        # record orientation so refinements follow the same main dimension
+        part.meta["transposed"] = part.meta.get("orientation") == "ver"
+        return part
+
+    def step(self, A: MatrixLike) -> Partition:
+        """Produce the partition for the next load matrix."""
+        pref = prefix_2d(A)
+        if self.current is None:
+            self.current = self._fresh(pref)
+            self.full_repartitions += 1
+            return self.current
+        refined = refine_jagged(self.current, pref, oned=self.oned)
+        fresh = self._fresh(pref)
+        if refined.max_load(pref) > (1.0 + self.threshold) * fresh.max_load(pref):
+            self.current = fresh
+            self.full_repartitions += 1
+        else:
+            self.current = refined
+            self.refinements += 1
+        return self.current
+
+    def partitioner(self):
+        """Adapter: ``(PrefixSum2D, m) -> Partition`` for the BSP simulator."""
+
+        def run(pref: PrefixSum2D, m: int) -> Partition:
+            if m != self.m:
+                raise ParameterError(f"simulator m={m} != strategy m={self.m}")
+            return self.step(pref)
+
+        return run

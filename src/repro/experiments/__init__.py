@@ -1,0 +1,18 @@
+"""Experiment harness: per-figure reproductions, scaling profiles, CLI."""
+
+from .extensions import ALL_EXTENSIONS
+from .figures import ALL_FIGURES
+from .harness import FigureResult, timed
+from .scale import PAPER, SMALL, Scale, current_scale, get_scale
+
+__all__ = [
+    "ALL_EXTENSIONS",
+    "ALL_FIGURES",
+    "FigureResult",
+    "timed",
+    "PAPER",
+    "SMALL",
+    "Scale",
+    "current_scale",
+    "get_scale",
+]

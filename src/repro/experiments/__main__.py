@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — see :mod:`repro.experiments.cli`."""
+
+from .cli import main
+
+raise SystemExit(main())

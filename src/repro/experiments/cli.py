@@ -1,0 +1,83 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m repro.experiments``.
+
+Regenerates any subset of the paper's figures as text tables and CSV files::
+
+    repro-experiments --figures fig07 fig12 --scale small --out results/
+    repro-experiments --all --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .extensions import ALL_EXTENSIONS
+from .figures import ALL_FIGURES
+from .scale import get_scale
+
+ALL_RUNNABLE = {**ALL_FIGURES, **ALL_EXTENSIONS}
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of 'Partitioning Spatially "
+        "Located Computations using Rectangles' (IPDPS 2011).",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        metavar="FIG",
+        choices=sorted(ALL_RUNNABLE),
+        help=f"figures to run ({', '.join(sorted(ALL_RUNNABLE))})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=("small", "paper"),
+        help="parameter profile (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write one CSV per figure into DIR",
+    )
+    parser.add_argument(
+        "--gallery",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write the Figure 1/Figure 2 image gallery (PPM) into DIR",
+    )
+    args = parser.parse_args(argv)
+    figs = sorted(ALL_RUNNABLE) if args.all else (args.figures or [])
+    if not figs and args.gallery is None:
+        parser.error("choose figures with --figures, run --all, or use --gallery")
+    if args.gallery is not None:
+        from .gallery import make_gallery
+
+        for path in make_gallery(args.gallery, get_scale(args.scale)):
+            print(f"# wrote {path}", file=sys.stderr)
+    scale = get_scale(args.scale)
+    print(f"# scale profile: {scale.name}", file=sys.stderr)
+    for fig in figs:
+        t0 = time.perf_counter()
+        result = ALL_RUNNABLE[fig](scale)
+        dt = time.perf_counter() - t0
+        print(result.to_table())
+        print(f"# generated in {dt:.1f}s\n", file=sys.stderr)
+        if args.out is not None:
+            path = result.to_csv(args.out / f"{fig}.csv")
+            print(f"# wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

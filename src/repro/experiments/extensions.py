@@ -1,0 +1,153 @@
+"""Extension experiments beyond the paper's figures (its §5 future work).
+
+* :func:`ext1_comm_volume` — "investigate the effect of these different
+  partitioning schemes in communication cost": communication volume (grid
+  edges crossing owners) of every heuristic vs m on the PIC-MAG snapshot.
+* :func:`ext2_migration_tradeoff` — "taking into account data migration
+  costs in dynamic applications": imbalance vs migrated load for full
+  repartitioning vs :class:`repro.dynamic.IncrementalJagged` at several
+  thresholds, over the PIC-MAG run.
+* :func:`ext3_stripe_autotuning` — the Theorem 4 / auto stripe count of
+  JAG-M-HEUR against the paper's √m default (the Figure 13 weak spots).
+* :func:`ext4_volume_3d` — the 2D algorithms' 3D lifts on a 3D PIC-like
+  load volume.
+
+All return :class:`~repro.experiments.harness.FigureResult` like the paper
+figures and are exercised by ``benchmarks/bench_ext_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import communication_volume, migration_volume
+from ..core.prefix import PrefixSum2D
+from ..core.registry import ALGORITHMS
+from ..dynamic import IncrementalJagged
+from ..jagged.m_heur import jag_m_heur
+from ..volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
+from .figures import HEURISTICS, _pic_dataset
+from .harness import FigureResult
+from .scale import get_scale
+
+__all__ = [
+    "ext1_comm_volume",
+    "ext2_migration_tradeoff",
+    "ext3_stripe_autotuning",
+    "ext4_volume_3d",
+    "ALL_EXTENSIONS",
+]
+
+
+def ext1_comm_volume(scale=None) -> FigureResult:
+    """Communication volume of every heuristic vs m (PIC-MAG snapshot)."""
+    sc = get_scale(scale)
+    ds = _pic_dataset(sc)
+    A = ds.snapshot(sc.pic_fig13_iteration)
+    pref = PrefixSum2D(A)
+    res = FigureResult(
+        "ext1",
+        f"Communication volume on PIC-MAG iter={sc.pic_fig13_iteration}",
+        "m",
+        "crossing edges",
+        notes=f"scale={sc.name}; §5 extension (not a paper figure)",
+    )
+    for m in sc.m_values:
+        for name in HEURISTICS:
+            part = ALGORITHMS[name](pref, m)
+            res.add(name, m, communication_volume(part))
+    return res
+
+
+def ext2_migration_tradeoff(scale=None) -> FigureResult:
+    """Imbalance/migration trade-off of incremental repartitioning."""
+    sc = get_scale(scale)
+    ds = _pic_dataset(sc)
+    m = sc.m_fig8
+    res = FigureResult(
+        "ext2",
+        f"Migration vs imbalance over the PIC-MAG run, m={m}",
+        "threshold",
+        "value",
+        notes=f"scale={sc.name}; series: total migrated load (fraction of "
+        "total work moved per step) and mean imbalance",
+    )
+    snaps = [PrefixSum2D(A) for _, A in ds.snapshots()]
+    for thr in (0.0, 0.05, 0.1, 0.2, 0.4):
+        inc = IncrementalJagged(m, threshold=thr)
+        prev = None
+        migration = 0
+        imbs = []
+        for pref in snaps:
+            part = inc.step(pref)
+            if prev is not None:
+                migration += migration_volume(prev, part, pref)
+            prev = part
+            imbs.append(part.imbalance(pref))
+        total_work = sum(p.total for p in snaps)
+        res.add("migrated fraction", thr, migration / total_work)
+        res.add("mean imbalance", thr, float(np.mean(imbs)))
+        res.add("full repartitions", thr, inc.full_repartitions)
+    return res
+
+
+def ext3_stripe_autotuning(scale=None) -> FigureResult:
+    """JAG-M-HEUR stripe-count policies: √m vs Theorem 4 vs auto sweep."""
+    sc = get_scale(scale)
+    ds = _pic_dataset(sc)
+    A = ds.snapshot(sc.pic_fig13_iteration)
+    pref = PrefixSum2D(A)
+    res = FigureResult(
+        "ext3",
+        f"JAG-M-HEUR stripe policies on PIC-MAG iter={sc.pic_fig13_iteration}",
+        "m",
+        "load imbalance",
+        notes=f"scale={sc.name}; Theorem 4 uses the measured delta",
+    )
+    for m in sc.m_values:
+        for policy in ("sqrt", "theorem4", "auto"):
+            part = jag_m_heur(pref, m, num_stripes=policy)
+            res.add(policy, m, part.imbalance(pref))
+    return res
+
+
+def ext4_volume_3d(scale=None) -> FigureResult:
+    """3D lifts (VOL-UNIFORM / VOL-JAG-M-HEUR / VOL-HIER-RB) on a 3D blob."""
+    sc = get_scale(scale)
+    n = max(16, sc.pic.grid // 4)
+    i, j, k = np.meshgrid(*[np.arange(n)] * 3, indexing="ij")
+    A = (
+        1000
+        + 5000
+        * np.exp(
+            -(
+                ((i - 0.3 * n) ** 2 + (j - 0.6 * n) ** 2 + (k - 0.5 * n) ** 2)
+                / (2 * (0.15 * n) ** 2)
+            )
+        )
+    ).astype(np.int64)
+    pref = PrefixSum3D(A)
+    res = FigureResult(
+        "ext4",
+        f"3D partitioning of a {n}^3 load volume",
+        "m",
+        "load imbalance",
+        notes=f"scale={sc.name}; rectangular volumes (paper §1)",
+    )
+    for m in sc.m_values:
+        for name, fn in (
+            ("VOL-UNIFORM", vol_uniform),
+            ("VOL-JAG-M-HEUR", vol_jag_m_heur),
+            ("VOL-HIER-RB", vol_hier_rb),
+        ):
+            res.add(name, m, fn(pref, m).imbalance(pref))
+    return res
+
+
+#: extension id -> callable
+ALL_EXTENSIONS = {
+    "ext1": ext1_comm_volume,
+    "ext2": ext2_migration_tradeoff,
+    "ext3": ext3_stripe_autotuning,
+    "ext4": ext4_volume_3d,
+}

@@ -1,0 +1,87 @@
+"""Result container and reporting utilities for the figure reproductions.
+
+Each figure function returns a :class:`FigureResult`: named series of (x, y)
+points plus labels — exactly the rows/series the paper plots.  The harness
+renders them as an aligned text table (what the benchmark suite prints) and
+as CSV (what EXPERIMENTS.md is generated from).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["FigureResult", "timed"]
+
+
+@dataclass
+class FigureResult:
+    """Named series reproducing one figure of the paper."""
+
+    fig: str  #: e.g. "fig07"
+    title: str
+    xlabel: str
+    ylabel: str
+    #: series name -> list of (x, y)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, name: str, x: float, y: float) -> None:
+        """Append one point to a series (created on first use)."""
+        self.series.setdefault(name, []).append((float(x), float(y)))
+
+    # ------------------------------------------------------------------
+    def xs(self) -> list[float]:
+        """Sorted union of x values across series."""
+        vals = {x for pts in self.series.values() for x, _ in pts}
+        return sorted(vals)
+
+    def to_table(self) -> str:
+        """Aligned text table: one row per x, one column per series."""
+        names = list(self.series)
+        lookup = {name: dict(pts) for name, pts in self.series.items()}
+        widths = [max(len(n), 10) for n in names]
+        xw = max(len(self.xlabel), 8)
+        out = io.StringIO()
+        out.write(f"# {self.fig}: {self.title}\n")
+        if self.notes:
+            out.write(f"# {self.notes}\n")
+        out.write(self.xlabel.rjust(xw))
+        for n, w in zip(names, widths):
+            out.write("  " + n.rjust(w))
+        out.write("\n")
+        for x in self.xs():
+            xs = f"{int(x)}" if float(x).is_integer() else f"{x:.4g}"
+            out.write(xs.rjust(xw))
+            for n, w in zip(names, widths):
+                v = lookup[n].get(x)
+                out.write("  " + (f"{v:.4f}".rjust(w) if v is not None else "-".rjust(w)))
+            out.write("\n")
+        return out.getvalue()
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the table as CSV (x column + one column per series)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        names = list(self.series)
+        lookup = {name: dict(pts) for name, pts in self.series.items()}
+        with path.open("w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow([self.xlabel] + names)
+            for x in self.xs():
+                w.writerow([x] + [lookup[n].get(x, "") for n in names])
+        return path
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_table()
+
+
+def timed(fn: Callable, *args, **kw) -> tuple[float, object]:
+    """Wall-clock a call; returns ``(seconds, result)``."""
+    t0 = time.perf_counter()
+    out = fn(*args, **kw)
+    return time.perf_counter() - t0, out

@@ -1,0 +1,137 @@
+"""Experiment scaling profiles.
+
+The paper's evaluation runs 512–8192-wide matrices up to 10 000 processors on
+a C++ implementation; re-running every figure at that scale in Python is
+possible but slow, so each experiment reads its parameters from a *scale
+profile*:
+
+* ``small`` (default) — laptop-scale grids that preserve every qualitative
+  phenomenon (who wins, crossovers, waves); minutes for the full suite.
+* ``paper`` — the paper's matrix sizes, processor counts and snapshot
+  cadence; hours for the full suite.
+
+Select with the environment variable ``REPRO_SCALE=paper`` or explicitly via
+the ``scale=`` argument of the figure functions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..instances.pic import PICConfig
+
+__all__ = ["Scale", "SMALL", "PAPER", "current_scale", "get_scale"]
+
+
+def _squares(lo: int, hi: int, count: int) -> list[int]:
+    """Roughly geometric progression of perfect squares in [lo, hi]."""
+    import numpy as np
+
+    roots = np.unique(
+        np.round(np.geomspace(np.sqrt(lo), np.sqrt(hi), count)).astype(int)
+    )
+    return [int(r * r) for r in roots]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size knobs of the experiment suite."""
+
+    name: str
+    #: processor counts ("most square numbers between 16 and 10,000", §4.1)
+    m_values: tuple[int, ...]
+    #: processor cap for JAG-PQ-OPT series (paper runs it everywhere but
+    #: reports tens of seconds; we cap it for the small profile)
+    m_cap_pq_opt: int
+    #: processor cap for JAG-M-OPT series ("on more than 1,000 processors,
+    #: the runtime of the algorithm becomes prohibitive", §4.4)
+    m_cap_m_opt: int
+    #: synthetic matrix sizes per figure
+    n_peak: int  # Fig 3
+    n_multipeak: int  # Fig 4
+    n_diagonal: int  # Figs 5, 10
+    n_uniform: int  # Fig 6
+    n_fig9: int  # Fig 9 (paper: 514)
+    m_fig9: int  # Fig 9 (paper: 800)
+    fig9_stripes: tuple[int, ...]  # stripe counts swept in Fig 9
+    n_slac: int  # Fig 14
+    #: number of random instances averaged for synthetic classes (paper: 10)
+    seeds: int
+    #: PIC-MAG dataset
+    pic: PICConfig
+    pic_period: int
+    pic_max_iteration: int
+    pic_fig7_iteration: int  # Fig 7 (paper: 30,000)
+    pic_fig13_iteration: int  # Fig 13 (paper: 20,000)
+    m_fig8: int  # Fig 8 (paper: 6,400)
+    m_fig11: int  # Fig 11 (paper: 400)
+    m_fig12: int  # Fig 12 (paper: 9,216)
+
+
+SMALL = Scale(
+    name="small",
+    m_values=(16, 36, 64, 144, 256, 400),
+    m_cap_pq_opt=400,
+    m_cap_m_opt=144,
+    n_peak=256,
+    n_multipeak=128,
+    n_diagonal=512,
+    n_uniform=256,
+    n_fig9=258,
+    m_fig9=200,
+    fig9_stripes=tuple(range(2, 72, 4)),
+    n_slac=256,
+    seeds=3,
+    pic=PICConfig(grid=128, particles=30_000),
+    pic_period=2_500,
+    pic_max_iteration=30_000,
+    pic_fig7_iteration=30_000,
+    pic_fig13_iteration=20_000,
+    m_fig8=400,
+    m_fig11=100,
+    m_fig12=576,
+)
+
+PAPER = Scale(
+    name="paper",
+    m_values=(16, 36, 100, 256, 529, 1024, 2025, 4096, 6400, 9216),
+    m_cap_pq_opt=10_000,
+    m_cap_m_opt=529,
+    n_peak=1024,
+    n_multipeak=512,
+    n_diagonal=4096,
+    n_uniform=512,
+    n_fig9=514,
+    m_fig9=800,
+    fig9_stripes=tuple(range(2, 302, 8)),
+    n_slac=512,
+    seeds=10,
+    pic=PICConfig(grid=512, particles=150_000, smooth=5, particle_load=22),
+    pic_period=500,
+    pic_max_iteration=33_500,
+    pic_fig7_iteration=30_000,
+    pic_fig13_iteration=20_000,
+    m_fig8=6400,
+    m_fig11=400,
+    m_fig12=9216,
+)
+
+_PROFILES = {"small": SMALL, "paper": PAPER}
+
+
+def current_scale() -> Scale:
+    """Profile selected by ``$REPRO_SCALE`` (default ``small``)."""
+    return get_scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+def get_scale(name: str | Scale | None) -> Scale:
+    """Resolve a profile by name, pass through Scale objects, None → env."""
+    if name is None:
+        return current_scale()
+    if isinstance(name, Scale):
+        return name
+    key = name.lower()
+    if key not in _PROFILES:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_PROFILES)}")
+    return _PROFILES[key]

@@ -1,0 +1,72 @@
+"""Cut-selection helpers shared by the hierarchical algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["best_weighted_cut", "best_relaxed_split"]
+
+
+def best_weighted_cut(
+    bp: np.ndarray, w1: int, w2: int
+) -> tuple[int, float] | None:
+    """Cut of a rebased prefix ``bp`` minimizing ``max(L1/w1, L2/w2)``.
+
+    Only non-degenerate cuts (both sides non-empty) are considered; returns
+    ``(cut, value)`` with ``cut`` relative to the prefix, or None when the
+    axis has fewer than 2 cells.  The left term grows and the right term
+    shrinks with the cut, so the minimum straddles the weighted balance
+    point located by one binary search.
+    """
+    L = len(bp) - 1
+    if L < 2:
+        return None
+    total = int(bp[-1])
+    target = total * (w1 / (w1 + w2))
+    c = int(np.searchsorted(bp, target, side="right")) - 1
+    best: tuple[int, float] | None = None
+    for cand in (c, c + 1):
+        if cand < 1 or cand > L - 1:
+            continue
+        l1 = int(bp[cand])
+        v = max(l1 / w1, (total - l1) / w2)
+        if best is None or v < best[1]:
+            best = (cand, v)
+    if best is None:
+        # balance point at a border; fall back to the nearest interior cut
+        cand = min(max(c, 1), L - 1)
+        l1 = int(bp[cand])
+        best = (cand, max(l1 / w1, (total - l1) / w2))
+    return best
+
+
+def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
+    """Jointly optimal ``(cut, j, value)`` over all processor splits.
+
+    Implements the HIER-RELAXED node rule (paper §3.3): minimize
+    ``max(L1/j, L2/(m-j))`` over the cut position *and* the processor split
+    ``j ∈ [1, m-1]``.  For fixed ``j`` the optimal cut straddles the balance
+    point ``total·j/m``, so a single vectorized ``searchsorted`` over all
+    ``m-1`` targets finds every candidate at once.
+    """
+    L = len(bp) - 1
+    if L < 2 or m < 2:
+        return None
+    total = int(bp[-1])
+    j = np.arange(1, m, dtype=np.int64)
+    targets = total * (j / m)
+    lo = np.searchsorted(bp, targets, side="right") - 1
+    cuts = np.concatenate([np.clip(lo, 1, L - 1), np.clip(lo + 1, 1, L - 1)])
+    jj = np.concatenate([j, j])
+    l1 = bp[cuts].astype(np.float64)
+    val = np.maximum(l1 / jj, (total - l1) / (m - jj))
+    v = float(val.min())
+    # The relaxed node score is blind to discretization error deeper in the
+    # tree, so many (cut, j) pairs score within noise of each other; among
+    # splits within 0.1% of the best score, prefer the most balanced
+    # processor split — unbalanced chains deepen the tree and accumulate
+    # rounding error (measured in benchmarks/bench_ablation_hier.py).
+    near = val <= v * (1.0 + 1e-3) + 1e-9
+    bal = np.where(near, np.minimum(jj, m - jj), -1)
+    k = int(np.argmax(bal))
+    return (int(cuts[k]), int(jj[k]), float(val[k]))

@@ -1,0 +1,12 @@
+"""SLAC substitute: synthetic cavity mesh, projection, sparse load matrices."""
+
+from .cavity import CavityConfig, cavity_vertices, radius_profile
+from .project import project_vertices, slac_instance
+
+__all__ = [
+    "CavityConfig",
+    "cavity_vertices",
+    "radius_profile",
+    "project_vertices",
+    "slac_instance",
+]

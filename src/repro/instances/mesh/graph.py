@@ -1,0 +1,34 @@
+"""Optional mesh-graph view of the cavity (uses networkx when available).
+
+Not required by any partitioning algorithm — provided so the mesh example can
+reason about vertex adjacency (e.g. per-processor cut edges when vertices are
+assigned through the 2D projection), mirroring how a real application would
+consume the partition.
+"""
+
+from __future__ import annotations
+
+from .cavity import CavityConfig, cavity_vertices
+
+__all__ = ["cavity_graph"]
+
+
+def cavity_graph(config: CavityConfig | None = None, *, k_neighbors: int = 4):
+    """Build a k-nearest-neighbour surface graph of the cavity vertices.
+
+    Returns a ``networkx.Graph`` whose nodes are vertex indices with a
+    ``pos`` attribute holding the 3D coordinate.  Requires :mod:`networkx`
+    and :mod:`scipy` (both optional extras).
+    """
+    import networkx as nx
+    from scipy.spatial import cKDTree
+
+    verts = cavity_vertices(config)
+    tree = cKDTree(verts)
+    _, idx = tree.query(verts, k=k_neighbors + 1)
+    g = nx.Graph()
+    g.add_nodes_from((i, {"pos": verts[i]}) for i in range(len(verts)))
+    for i, row in enumerate(idx):
+        for j in row[1:]:
+            g.add_edge(i, int(j))
+    return g

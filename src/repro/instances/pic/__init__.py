@@ -1,0 +1,14 @@
+"""PIC-MAG substitute: particle-in-cell-like load matrices (DESIGN.md §4)."""
+
+from .dataset import PICMagDataset, default_cache_dir
+from .fields import DipoleField, gyro_frequency
+from .simulator import PICConfig, PICMagSimulator
+
+__all__ = [
+    "PICMagDataset",
+    "default_cache_dir",
+    "DipoleField",
+    "gyro_frequency",
+    "PICConfig",
+    "PICMagSimulator",
+]

@@ -1,0 +1,105 @@
+"""Sparse matrix–vector multiplication workloads (intro refs [1]–[3]).
+
+The paper's first application class is 2D-decomposed sparse linear algebra:
+assigning a rectangle of the sparse matrix to each processor makes its work
+proportional to the nonzeros inside the rectangle.  The load matrix is
+therefore the *nonzero density histogram* of a sparse matrix at a chosen
+blocking resolution.
+
+Two synthetic sparsity models:
+
+* ``rmat`` — recursive R-MAT quadrant sampling (power-law degrees, the
+  skewed web/social-network regime where load-aware partitioners shine);
+* ``mesh`` — a 5-point-stencil mesh matrix (banded, near-uniform rows; the
+  structured-PDE regime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ParameterError
+
+__all__ = ["spmv_instance", "rmat_edges"]
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """R-MAT edge list: ``edge_factor · 2**scale`` edges over ``2**scale`` vertices.
+
+    Each edge picks one of the four matrix quadrants per bit level with
+    probabilities ``(a, b, c, d)`` — the Graph500 generator, vectorized over
+    all edges at once (one random draw per bit level).
+    """
+    if scale <= 0 or edge_factor <= 0:
+        raise ParameterError("need scale > 0 and edge_factor > 0")
+    a, b, c, d = probs
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ParameterError("quadrant probabilities must sum to 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    n_edges = edge_factor * (1 << scale)
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(scale):
+        # quadrant choice per bit level: P(col bit) = b + d, and the row bit
+        # is drawn conditionally on the chosen column half
+        r = rng.uniform(size=n_edges)
+        col_bit = (r >= a + c).astype(np.int64)
+        r2 = rng.uniform(size=n_edges)
+        row_bit = np.where(
+            col_bit == 1,
+            (r2 >= b / (b + d)).astype(np.int64),
+            (r2 >= a / (a + c)).astype(np.int64),
+        )
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    return np.stack([rows, cols], axis=1)
+
+
+def spmv_instance(
+    n: int,
+    *,
+    model: str = "rmat",
+    scale: int = 14,
+    edge_factor: int = 8,
+    mesh_size: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Nonzero-count load matrix of a synthetic sparse matrix at ``n × n`` blocks.
+
+    ``model="rmat"`` histograms an R-MAT edge list (power-law skew, zeros in
+    the tail quadrants); ``model="mesh"`` builds the 5-point stencil matrix
+    of a ``mesh_size²`` grid (block-banded, near-uniform).
+    """
+    if n <= 0:
+        raise ParameterError("n must be positive")
+    key = model.lower()
+    if key == "rmat":
+        edges = rmat_edges(scale, edge_factor, seed=seed)
+        size = 1 << scale
+        H, _, _ = np.histogram2d(
+            edges[:, 0], edges[:, 1], bins=n, range=((0, size), (0, size))
+        )
+        return H.astype(np.int64)
+    if key == "mesh":
+        k = mesh_size if mesh_size is not None else 256
+        size = k * k
+        idx = np.arange(size, dtype=np.int64)
+        i, j = idx // k, idx % k
+        rows = [idx]
+        cols = [idx]
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = i + di, j + dj
+            ok = (0 <= ni) & (ni < k) & (0 <= nj) & (nj < k)
+            rows.append(idx[ok])
+            cols.append((ni * k + nj)[ok])
+        r = np.concatenate(rows)
+        c = np.concatenate(cols)
+        H, _, _ = np.histogram2d(r, c, bins=n, range=((0, size), (0, size)))
+        return H.astype(np.int64)
+    raise ParameterError(f"unknown model {model!r}; choose 'rmat' or 'mesh'")

@@ -1,0 +1,113 @@
+"""Synthetic load-matrix generators (paper §4.1, Figure 2(c)–(f)).
+
+Four classes of square matrices:
+
+* **uniform** — each cell load uniform in ``[1000, 1000·Δ]`` for a target
+  max/min ratio Δ;
+* **diagonal / peak / multi-peak** — each cell draws a number uniformly in
+  ``[0, #cells]`` and divides it by the Euclidean distance to a reference
+  point (+0.1 to avoid dividing by zero).  The reference point is the closest
+  point on the main diagonal (diagonal), one random point (peak), or the
+  closest of several random points (multi-peak, 3 points in the paper).
+
+All generators are deterministic given a seed and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ParameterError
+
+__all__ = ["uniform", "diagonal", "peak", "multi_peak", "make_instance", "SYNTHETIC_CLASSES"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform(
+    n: int, delta: float = 1.2, seed: int | np.random.Generator | None = 0, *, n2: int | None = None
+) -> np.ndarray:
+    """Uniform instance: loads uniform in ``[1000, 1000·Δ]`` (int64).
+
+    ``Δ >= 1`` controls the max/min element ratio of §3.2's theorems.
+    """
+    if delta < 1.0:
+        raise ParameterError(f"delta must be >= 1, got {delta}")
+    rng = _rng(seed)
+    n2 = n if n2 is None else n2
+    lo, hi = 1000, int(round(1000 * delta))
+    return rng.integers(lo, hi + 1, size=(n, n2), dtype=np.int64)
+
+
+def _distance_based(n: int, dist: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Common body of the diagonal/peak/multi-peak rules."""
+    ncells = float(n) * n
+    u = rng.uniform(0.0, ncells, size=(n, n))
+    vals = u / (dist + 0.1)
+    # floor to integers; keep cells positive (the paper's classes are strictly
+    # positive loads, Δ being defined for them is not required)
+    return np.maximum(vals.astype(np.int64), 1)
+
+
+def _grid(n: int) -> tuple[np.ndarray, np.ndarray]:
+    i = np.arange(n, dtype=np.float64)
+    return np.meshgrid(i, i, indexing="ij")
+
+
+def diagonal(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Diagonal instance: reference point = closest point on the main diagonal.
+
+    The closest diagonal point to ``(i, j)`` is ``((i+j)/2, (i+j)/2)``, at
+    distance ``|i - j| / sqrt(2)``.
+    """
+    rng = _rng(seed)
+    ii, jj = _grid(n)
+    dist = np.abs(ii - jj) / np.sqrt(2.0)
+    return _distance_based(n, dist, rng)
+
+
+def peak(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Peak instance: one random reference point chosen up front."""
+    rng = _rng(seed)
+    ref = rng.uniform(0, n, size=2)
+    ii, jj = _grid(n)
+    dist = np.hypot(ii - ref[0], jj - ref[1])
+    return _distance_based(n, dist, rng)
+
+
+def multi_peak(
+    n: int, seed: int | np.random.Generator | None = 0, *, peaks: int = 3
+) -> np.ndarray:
+    """Multi-peak instance: the closest of ``peaks`` random points (3 in the paper)."""
+    if peaks < 1:
+        raise ParameterError("peaks must be >= 1")
+    rng = _rng(seed)
+    refs = rng.uniform(0, n, size=(peaks, 2))
+    ii, jj = _grid(n)
+    dist = np.full((n, n), np.inf)
+    for r in refs:
+        np.minimum(dist, np.hypot(ii - r[0], jj - r[1]), out=dist)
+    return _distance_based(n, dist, rng)
+
+
+SYNTHETIC_CLASSES = ("uniform", "diagonal", "peak", "multi-peak")
+
+
+def make_instance(
+    kind: str, n: int, seed: int | np.random.Generator | None = 0, **kw
+) -> np.ndarray:
+    """Dispatch on the synthetic class name used in the paper's figures."""
+    key = kind.lower().replace("_", "-")
+    if key == "uniform":
+        return uniform(n, seed=seed, **kw)
+    if key == "diagonal":
+        return diagonal(n, seed=seed, **kw)
+    if key == "peak":
+        return peak(n, seed=seed, **kw)
+    if key in ("multi-peak", "multipeak"):
+        return multi_peak(n, seed=seed, **kw)
+    raise ParameterError(f"unknown synthetic class {kind!r}; choose from {SYNTHETIC_CLASSES}")

@@ -1,0 +1,151 @@
+"""Shared machinery for jagged partitions (paper §3.2).
+
+A jagged partition distinguishes a *main* dimension, split into ``P``
+intervals (stripes); every rectangle spans one stripe exactly, and is free in
+the auxiliary dimension.  All algorithms in this package are written for
+main dimension 0 (stripes are row intervals); the -VER variants run the same
+code on the transposed prefix and transpose the result back, and the -BEST
+variants keep the better of the two (§4.1's -HOR/-VER/-BEST convention).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import ParameterError
+from ..core.partition import Partition
+from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+from ..core.rectangle import Rect
+
+__all__ = [
+    "build_jagged_partition",
+    "choose_pq",
+    "default_stripe_count",
+    "oriented",
+    "jagged_variants",
+]
+
+
+def default_stripe_count(m: int, n_main: int) -> int:
+    """The paper's default stripe count: ``√m`` (§3.2.2), clamped to valid range."""
+    P = int(round(np.sqrt(m)))
+    return max(1, min(P, n_main, m))
+
+
+def choose_pq(m: int, n1: int, n2: int) -> tuple[int, int]:
+    """Factor ``m = P·Q`` with ``P`` the divisor nearest ``√m``.
+
+    The paper evaluates square processor counts with ``P = Q = √m``; for
+    general ``m`` the nearest divisor keeps the grid as square as possible.
+    """
+    if m <= 0:
+        raise ParameterError("m must be positive")
+    root = int(np.sqrt(m))
+    best = 1
+    for p in range(1, root + 1):
+        if m % p == 0:
+            best = p
+    P, Q = best, m // best
+    # prefer the orientation that fits the matrix
+    if P > n1 or Q > n2:
+        if Q <= n1 and P <= n2:
+            P, Q = Q, P
+    return P, Q
+
+
+def build_jagged_partition(
+    pref: PrefixSum2D,
+    stripe_cuts: np.ndarray,
+    col_cuts: Sequence[np.ndarray],
+    *,
+    method: str = "",
+    pad_to: int | None = None,
+) -> Partition:
+    """Assemble a :class:`Partition` from stripe cuts and per-stripe column cuts.
+
+    ``stripe_cuts`` has length ``P+1``; ``col_cuts[s]`` delimits the
+    rectangles of stripe ``s`` (any per-stripe count).  Processors are
+    numbered stripe-major.  ``pad_to`` appends empty rectangles up to a fixed
+    processor count (idle processors).
+    """
+    stripe_cuts = np.asarray(stripe_cuts, dtype=np.int64)
+    P = len(stripe_cuts) - 1
+    if len(col_cuts) != P:
+        raise ParameterError("need one column-cut array per stripe")
+    rects: list[Rect] = []
+    offsets = np.zeros(P + 1, dtype=np.int64)
+    for s in range(P):
+        r0, r1 = int(stripe_cuts[s]), int(stripe_cuts[s + 1])
+        cc = np.asarray(col_cuts[s], dtype=np.int64)
+        offsets[s + 1] = offsets[s] + len(cc) - 1
+        for q in range(len(cc) - 1):
+            rects.append(Rect(r0, r1, int(cc[q]), int(cc[q + 1])))
+    if pad_to is not None:
+        if pad_to < len(rects):
+            raise ParameterError(f"pad_to={pad_to} below rectangle count {len(rects)}")
+        rects.extend(Rect(0, 0, 0, 0) for _ in range(pad_to - len(rects)))
+    cuts_list = [np.asarray(c, dtype=np.int64) for c in col_cuts]
+
+    def indexer(i: int, j: int) -> int:
+        s = int(np.searchsorted(stripe_cuts, i, side="right")) - 1
+        s = min(max(s, 0), P - 1)
+        # skip empty stripes sharing the boundary
+        while stripe_cuts[s + 1] <= i and s < P - 1:
+            s += 1
+        q = int(np.searchsorted(cuts_list[s], j, side="right")) - 1
+        q = min(max(q, 0), len(cuts_list[s]) - 2)
+        while cuts_list[s][q + 1] <= j and q < len(cuts_list[s]) - 2:
+            q += 1
+        return int(offsets[s]) + q
+
+    return Partition(
+        rects,
+        pref.shape,
+        method=method,
+        indexer=indexer,
+        meta={"stripe_cuts": stripe_cuts, "col_cuts": cuts_list},
+    )
+
+
+def oriented(
+    fn: Callable[..., Partition],
+) -> Callable[..., Partition]:
+    """Wrap a main-dimension-0 jagged algorithm with HOR/VER/BEST orientation.
+
+    The wrapped function gains an ``orientation`` keyword (``"hor"``,
+    ``"ver"``, ``"best"``; default ``"best"`` as selected in §4.2).
+    """
+
+    def run(A: MatrixLike, m: int, *args, orientation: str = "best", **kw) -> Partition:
+        pref = prefix_2d(A)
+        o = orientation.lower()
+        if o == "hor":
+            part = fn(pref, m, *args, **kw)
+            part.meta["orientation"] = "hor"
+            return part
+        if o == "ver":
+            part = fn(pref.transpose(), m, *args, **kw)
+            out = part.transpose().with_method(part.method)
+            out.meta["orientation"] = "ver"
+            return out
+        if o == "best":
+            hor = fn(pref, m, *args, **kw)
+            vert = fn(pref.transpose(), m, *args, **kw)
+            if vert.max_load(pref.transpose()) < hor.max_load(pref):
+                out = vert.transpose().with_method(vert.method)
+                out.meta["orientation"] = "ver"
+                return out
+            hor.meta["orientation"] = "hor"
+            return hor
+        raise ParameterError(f"orientation must be hor/ver/best, got {orientation!r}")
+
+    run.__name__ = getattr(fn, "__name__", "jagged")
+    run.__doc__ = fn.__doc__
+    return run
+
+
+def jagged_variants(base: str) -> list[str]:
+    """Names of the orientation variants of a jagged algorithm."""
+    return [f"{base}-{suffix}" for suffix in ("HOR", "VER", "BEST")]

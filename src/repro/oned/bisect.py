@@ -1,0 +1,59 @@
+"""Exact 1D partitioning by integer bisection on the bottleneck value.
+
+Loads are integers throughout the reproduction (cf. DESIGN.md), so the
+optimal bottleneck is an integer in ``[LB, UB]`` with
+
+* ``LB = max(ceil(total/m), max element)`` (the lower bounds of §2.1), and
+* ``UB = total/m + max element`` (the DirectCut guarantee of §2.2 — the
+  paper highlights this bound precisely because it brackets the optimum).
+
+``Probe`` is monotone in ``B``, so a standard bisection yields the optimum in
+``O(m log(n) log(max - min))``.  This is not one of the paper's named
+algorithms but serves as an independent exact method to cross-check Nicol's
+search, and as the inner engine for generalized interval costs
+(:mod:`repro.oned.multicost`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .probe import min_parts, probe, probe_cuts
+
+__all__ = ["bisect_bottleneck", "partition_bisect"]
+
+
+def _bounds(P: np.ndarray, m: int) -> tuple[int, int]:
+    total = int(P[-1])
+    max_el = int(np.max(np.diff(P))) if len(P) > 1 else 0
+    lb = max(-(-total // m), max_el)
+    ub = total // m + max_el
+    return lb, max(lb, ub)
+
+
+def bisect_bottleneck(P: np.ndarray, m: int) -> int:
+    """Optimal bottleneck of an m-way interval partition of prefix ``P``."""
+    n = len(P) - 1
+    if n == 0:
+        return 0
+    lb, ub = _bounds(P, m)
+    while lb < ub:
+        mid = (lb + ub) // 2
+        if probe(P, m, mid):
+            ub = mid
+        else:
+            lb = mid + 1
+    return lb
+
+
+def partition_bisect(P: np.ndarray, m: int) -> tuple[int, np.ndarray]:
+    """Optimal 1D partition ``(bottleneck, cuts)`` via integer bisection."""
+    B = bisect_bottleneck(P, m)
+    cuts = probe_cuts(P, m, B)
+    assert cuts is not None
+    return B, cuts
+
+
+def min_parts_for(P: np.ndarray, B: int, cap: int | None = None) -> int:
+    """Convenience re-export: minimum interval count at bottleneck ``B``."""
+    return min_parts(P, B, cap=cap)

@@ -1,0 +1,118 @@
+"""Fast 1D partitioning heuristics (paper §2.2).
+
+* :func:`direct_cut` — DirectCut / "Heuristic 1" of Miguet & Pierson [12]:
+  each processor greedily takes the smallest interval exceeding the average
+  load.  2-approximation; more precisely
+  ``Lmax(DC) <= sum/m + max`` — which also upper-bounds the optimum.
+* :func:`direct_cut_refined` — Miguet & Pierson's "Heuristic 2": round each
+  cut to whichever neighbouring boundary is closest to the ideal target.
+* :func:`recursive_bisection` — Berger & Bokhari recursive bisection [21]:
+  split into two halves of similar load, give half the processors to each;
+  also ``Lmax(RB) <= sum/m + max``.
+
+All functions take a prefix-sum array (``P[0] == 0``, length ``n+1``) and
+return an int64 cut array of length ``m+1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["direct_cut", "direct_cut_refined", "recursive_bisection"]
+
+
+def direct_cut(P: np.ndarray, m: int) -> np.ndarray:
+    """DirectCut: ``cuts[p] = min{ i : P[i] > p * total / m }``.
+
+    Vectorized as a single :func:`np.searchsorted` over all m-1 targets.
+    """
+    n = len(P) - 1
+    total = int(P[-1])
+    targets = (np.arange(1, m, dtype=np.float64) * total) / m
+    inner = np.searchsorted(P, targets, side="right").astype(np.int64)
+    np.clip(inner, 0, n, out=inner)
+    cuts = np.empty(m + 1, dtype=np.int64)
+    cuts[0] = 0
+    cuts[1:m] = inner
+    cuts[m] = n
+    np.maximum.accumulate(cuts, out=cuts)
+    return cuts
+
+
+def direct_cut_refined(P: np.ndarray, m: int) -> np.ndarray:
+    """Miguet–Pierson Heuristic 2: snap each cut to the closer boundary.
+
+    For each target ``t_p = p * total / m`` choose between the first boundary
+    whose prefix exceeds ``t_p`` and its predecessor, picking the prefix value
+    closest to the target.  Often halves the imbalance of plain DirectCut.
+    """
+    n = len(P) - 1
+    total = int(P[-1])
+    targets = (np.arange(1, m, dtype=np.float64) * total) / m
+    hi = np.searchsorted(P, targets, side="right").astype(np.int64)
+    np.clip(hi, 1, n, out=hi)
+    lo = hi - 1
+    pick_lo = np.abs(P[lo] - targets) <= np.abs(P[hi] - targets)
+    inner = np.where(pick_lo, lo, hi)
+    cuts = np.empty(m + 1, dtype=np.int64)
+    cuts[0] = 0
+    cuts[1:m] = inner
+    cuts[m] = n
+    np.maximum.accumulate(cuts, out=cuts)
+    return cuts
+
+
+def _best_cut(P: np.ndarray, lo: int, hi: int, w1: int, w2: int) -> int:
+    """Cut of ``[lo, hi)`` minimizing ``max(L_left/w1, L_right/w2)``.
+
+    The left term increases and the right term decreases with the cut, so the
+    max is bimonotonic; the optimum straddles the weighted balance point,
+    which one binary search locates.
+    """
+    base = P[lo]
+    total = P[hi] - base
+    target = base + total * (w1 / (w1 + w2))
+    c = int(np.searchsorted(P[lo : hi + 1], target, side="right")) - 1 + lo
+    best_c, best_v = lo, None
+    for cand in (c, c + 1):
+        if cand < lo or cand > hi:
+            continue
+        l1 = int(P[cand] - base)
+        l2 = int(total - l1)
+        v = max(l1 / w1, l2 / w2)
+        if best_v is None or v < best_v:
+            best_c, best_v = cand, v
+    return best_c
+
+
+def recursive_bisection(P: np.ndarray, m: int) -> np.ndarray:
+    """Berger–Bokhari recursive bisection with odd-m handling.
+
+    When ``m`` is odd one side receives ``m//2`` and the other ``m//2 + 1``
+    processors; both orientations are evaluated and the cut minimizing the
+    load per processor is kept (paper §3.3 convention, applied in 1D).
+    """
+    n = len(P) - 1
+    cuts = np.empty(m + 1, dtype=np.int64)
+    cuts[0] = 0
+    cuts[m] = n
+
+    def rec(lo: int, hi: int, procs: int, offset: int) -> None:
+        # fill cuts[offset .. offset+procs] for interval [lo, hi)
+        if procs == 1:
+            return
+        m1 = procs // 2
+        m2 = procs - m1
+        c = _best_cut(P, lo, hi, m1, m2)
+        if m1 != m2:
+            c_alt = _best_cut(P, lo, hi, m2, m1)
+            v = max((P[c] - P[lo]) / m1, (P[hi] - P[c]) / m2)
+            v_alt = max((P[c_alt] - P[lo]) / m2, (P[hi] - P[c_alt]) / m1)
+            if v_alt < v:
+                c, m1, m2 = c_alt, m2, m1
+        cuts[offset + m1] = c
+        rec(lo, c, m1, offset)
+        rec(c, hi, m2, offset + m1)
+
+    rec(0, n, m, 0)
+    return cuts

@@ -1,0 +1,117 @@
+"""Exact 1D partitioning under *striped* interval costs (for RECT-NICOL).
+
+RECT-NICOL (paper §3.1) repeatedly solves a one-dimensional problem in which
+"the load of an interval … is the maximum of the load of the interval inside
+each stripe of the fixed dimension".  Given ``S`` stripes this module
+partitions ``[0, n)`` into ``m`` intervals minimizing::
+
+    max_intervals  max_s  ( M[s, j] - M[s, i] )
+
+where ``M`` stacks the per-stripe prefix arrays (shape ``(S, n+1)``).
+
+The greedy probe generalizes directly: from boundary ``i`` the furthest
+reachable boundary at bottleneck ``B`` is ``min_s`` of the per-stripe
+furthest boundaries, each found with one binary search (on Python lists —
+see :mod:`repro.oned.probe` for why).  Loads are integers, so exact integer
+bisection over ``B`` yields the optimum.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+__all__ = ["probe_multi", "multi_bottleneck", "partition_multi", "multi_cuts"]
+
+
+def _rows(M) -> list[list[int]]:
+    if isinstance(M, list):
+        return M
+    return [row.tolist() for row in np.asarray(M)]
+
+
+def _reach(rows: list[list[int]], n: int, i: int, B: int) -> int:
+    """Furthest boundary ``j >= i`` with every stripe load ``row[j]-row[i] <= B``."""
+    j = n
+    for row in rows:
+        r = bisect_right(row, row[i] + B, i, j + 1) - 1
+        if r < j:
+            j = r
+            if j <= i:
+                break
+    return j
+
+
+def probe_multi(M, m: int, B: int) -> bool:
+    """Can ``[0, n)`` be cut into ``<= m`` intervals of striped cost ``<= B``?"""
+    rows = _rows(M)
+    n = len(rows[0]) - 1 if rows else 0
+    if B < 0:
+        return False
+    pos = 0
+    for _ in range(m):
+        if pos >= n:
+            return True
+        nxt = _reach(rows, n, pos, B)
+        if nxt <= pos:
+            return False
+        pos = nxt
+    return pos >= n
+
+
+def multi_cuts(M, m: int, B: int) -> np.ndarray | None:
+    """Greedy cuts realizing striped bottleneck ``B`` (None if infeasible)."""
+    rows = _rows(M)
+    n = len(rows[0]) - 1 if rows else 0
+    cuts = np.empty(m + 1, dtype=np.int64)
+    cuts[0] = 0
+    pos = 0
+    for p in range(1, m + 1):
+        if pos < n:
+            nxt = _reach(rows, n, pos, B)
+            if nxt <= pos:
+                return None
+            pos = nxt
+        cuts[p] = pos
+    if pos < n:
+        return None
+    cuts[m] = n
+    return cuts
+
+
+def multi_bottleneck(M, m: int) -> int:
+    """Optimal striped bottleneck by integer bisection with the multi-probe."""
+    M = np.ascontiguousarray(M, dtype=np.int64)
+    n = M.shape[1] - 1
+    if n == 0 or M.shape[0] == 0:
+        return 0
+    cell = np.diff(M, axis=1)
+    # any interval covering boundary step b costs at least max_s cell[s, b]
+    max_step = int(cell.max(axis=0).max()) if cell.size else 0
+    heaviest = int(M[:, -1].max())
+    lb = max(max_step, -(-heaviest // m))
+    rows = _rows(M)
+    # The single-array DirectCut bound does not transfer to striped costs
+    # (different intervals may be bottlenecked by different stripes), so
+    # bracket the optimum by doubling from the heaviest-stripe bound.
+    ub = max(lb, heaviest // m + max_step)
+    while not probe_multi(rows, m, ub):
+        ub = max(ub * 2, ub + 1)
+    while lb < ub:
+        mid = (lb + ub) // 2
+        if probe_multi(rows, m, mid):
+            ub = mid
+        else:
+            lb = mid + 1
+    return int(lb)
+
+
+def partition_multi(M, m: int) -> tuple[int, np.ndarray]:
+    """Optimal striped 1D partition ``(bottleneck, cuts)``."""
+    M = np.ascontiguousarray(M, dtype=np.int64)
+    rows = _rows(M)
+    B = multi_bottleneck(M, m)
+    cuts = multi_cuts(rows, m, B)
+    assert cuts is not None
+    return B, cuts

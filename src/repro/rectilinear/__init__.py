@@ -1,0 +1,16 @@
+"""Rectilinear (general block) partitions: RECT-UNIFORM and RECT-NICOL (§3.1)."""
+
+from .common import build_rectilinear_partition, grid_bottleneck
+from .nicol import rect_nicol
+from .opt import rect_opt, rect_opt_bottleneck
+from .uniform import rect_uniform, uniform_cuts
+
+__all__ = [
+    "build_rectilinear_partition",
+    "grid_bottleneck",
+    "rect_nicol",
+    "rect_opt",
+    "rect_opt_bottleneck",
+    "rect_uniform",
+    "uniform_cuts",
+]

@@ -1,0 +1,59 @@
+"""Shared rectilinear helpers: partition assembly and grid bottleneck."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..core.prefix import PrefixSum2D
+from ..core.rectangle import Rect
+
+__all__ = ["build_rectilinear_partition", "grid_bottleneck"]
+
+
+def grid_bottleneck(
+    pref: PrefixSum2D, row_cuts: np.ndarray, col_cuts: np.ndarray
+) -> int:
+    """Max block load of the ``P×Q`` grid — fully vectorized over blocks."""
+    G = pref.G
+    sub = G[np.ix_(row_cuts, col_cuts)]
+    blocks = sub[1:, 1:] - sub[:-1, 1:] - sub[1:, :-1] + sub[:-1, :-1]
+    return int(blocks.max()) if blocks.size else 0
+
+
+def build_rectilinear_partition(
+    pref: PrefixSum2D,
+    row_cuts: np.ndarray,
+    col_cuts: np.ndarray,
+    *,
+    method: str = "",
+) -> Partition:
+    """Assemble a partition from grid cuts, with a two-binary-search indexer."""
+    row_cuts = np.asarray(row_cuts, dtype=np.int64)
+    col_cuts = np.asarray(col_cuts, dtype=np.int64)
+    P = len(row_cuts) - 1
+    Q = len(col_cuts) - 1
+    rects = [
+        Rect(int(row_cuts[p]), int(row_cuts[p + 1]), int(col_cuts[q]), int(col_cuts[q + 1]))
+        for p in range(P)
+        for q in range(Q)
+    ]
+
+    def indexer(i: int, j: int) -> int:
+        p = int(np.searchsorted(row_cuts, i, side="right")) - 1
+        q = int(np.searchsorted(col_cuts, j, side="right")) - 1
+        p = min(max(p, 0), P - 1)
+        q = min(max(q, 0), Q - 1)
+        while row_cuts[p + 1] <= i and p < P - 1:
+            p += 1
+        while col_cuts[q + 1] <= j and q < Q - 1:
+            q += 1
+        return p * Q + q
+
+    return Partition(
+        rects,
+        pref.shape,
+        method=method,
+        indexer=indexer,
+        meta={"row_cuts": row_cuts, "col_cuts": col_cuts},
+    )

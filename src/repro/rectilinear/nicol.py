@@ -1,0 +1,90 @@
+"""RECT-NICOL: Nicol's iterative rectilinear refinement (paper §3.1, refs [9], [15]).
+
+"Provided the partition in one dimension, called the fixed dimension,
+RECT-NICOL computes the optimal partition in the other dimension using an
+optimal one dimension partitioning algorithm.  The one dimension partitioning
+problem is built by setting the load of an interval … as the maximum of the
+load of the interval inside each stripe of the fixed dimension.  At each
+iteration, the partition of one dimension is refined."
+
+The striped 1D sub-problem is solved exactly by
+:func:`repro.oned.multicost.partition_multi`.  Iteration stops when the grid
+bottleneck stops improving (the paper observes 3–10 iterations in practice
+for a 514×514 matrix up to 10 000 processors) or at ``max_iters``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ParameterError
+from ..core.partition import Partition
+from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+from ..jagged.common import choose_pq
+from ..oned.multicost import partition_multi
+from .common import build_rectilinear_partition, grid_bottleneck
+from .uniform import uniform_cuts
+
+__all__ = ["rect_nicol"]
+
+
+def _stripe_matrix(pref: PrefixSum2D, cuts: np.ndarray, axis: int) -> np.ndarray:
+    """Stacked per-stripe prefix arrays along the *free* dimension.
+
+    ``axis`` is the fixed dimension carrying the stripes delimited by
+    ``cuts``; row ``s`` of the result is the prefix of the free dimension
+    restricted to stripe ``s``.  One fancy-indexing subtraction on Γ.
+    """
+    G = pref.G
+    if axis == 0:
+        return G[cuts[1:], :] - G[cuts[:-1], :]
+    return (G[:, cuts[1:]] - G[:, cuts[:-1]]).T
+
+
+def rect_nicol(
+    A: MatrixLike,
+    m: int,
+    P: int | None = None,
+    Q: int | None = None,
+    *,
+    max_iters: int = 20,
+) -> Partition:
+    """Iteratively refined ``P×Q`` rectilinear partition.
+
+    Starts from uniform row cuts, then alternately re-optimizes the column
+    and row cuts against the striped max-load cost until the bottleneck
+    stops improving.
+    """
+    pref = prefix_2d(A)
+    if P is None or Q is None:
+        P, Q = choose_pq(m, pref.n1, pref.n2)
+    elif P * Q != m:
+        raise ParameterError(f"P*Q must equal m ({P}*{Q} != {m})")
+    row_cuts = uniform_cuts(pref.n1, P)
+    col_cuts = uniform_cuts(pref.n2, Q)
+    best = grid_bottleneck(pref, row_cuts, col_cuts)
+    best_cuts = (row_cuts.copy(), col_cuts.copy())
+    iters_used = 0
+    for it in range(max_iters):
+        prev = best
+        # refine columns against fixed rows, then rows against fixed columns;
+        # each refinement's striped bottleneck IS the grid bottleneck of the
+        # (fixed, refined) pair
+        M = _stripe_matrix(pref, row_cuts, 0)
+        b1, col_cuts = partition_multi(M, Q)
+        if b1 < best:
+            best = b1
+            best_cuts = (row_cuts.copy(), col_cuts.copy())
+        M = _stripe_matrix(pref, col_cuts, 1)
+        b2, row_cuts = partition_multi(M, P)
+        iters_used = it + 1
+        if b2 < best:
+            best = b2
+            best_cuts = (row_cuts.copy(), col_cuts.copy())
+        if best >= prev:
+            break  # no refinement improved: converged
+    part = build_rectilinear_partition(
+        pref, best_cuts[0], best_cuts[1], method="RECT-NICOL"
+    )
+    part.meta["iterations"] = iters_used
+    return part

@@ -1,0 +1,177 @@
+"""BSP-style execution simulator for partitioned spatial computations.
+
+The paper's motivation (§1) is distributing spatially located computations so
+that per-step makespan is minimized, and its future work (§5) asks about
+communication and data-migration costs in dynamic applications.  This module
+closes that loop: given a sequence of load-matrix snapshots (e.g. the
+PIC-MAG dataset) and a partitioning strategy, it simulates a bulk-synchronous
+execution:
+
+* **compute** — a step costs the load of the most loaded processor times
+  ``alpha`` (perfect overlap inside a step, barrier at the end);
+* **communicate** — ghost-cell exchange along rectangle boundaries costs the
+  largest per-processor boundary times ``beta``;
+* **repartition** — when the strategy produces a new partition, the load
+  whose owner changes migrates at ``gamma`` per unit.
+
+The simulator is the "application side" that the partitioning algorithms
+serve; the examples drive it with different algorithms to show end-to-end
+effects (cf. §5: "integrate the proposed algorithms in a real dynamic
+application and study their end-to-end effects").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.metrics import max_boundary, migration_volume, neighbor_counts
+from ..core.partition import Partition
+from ..core.prefix import PrefixSum2D
+
+__all__ = ["CostModel", "StepStats", "SimulationReport", "BSPSimulator"]
+
+Partitioner = Callable[[PrefixSum2D, int], Partition]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs of the BSP model.
+
+    ``alpha`` — seconds per unit of computational load;
+    ``beta`` — seconds per boundary cell exchanged (per step);
+    ``gamma`` — seconds per unit of load migrated at a repartitioning;
+    ``latency`` — seconds per halo message: the per-step latency term is
+    ``latency`` times the largest per-processor neighbour count.
+    """
+
+    alpha: float = 1e-6
+    beta: float = 5e-6
+    gamma: float = 2e-6
+    latency: float = 0.0  #: seconds per halo message (per neighbour, per step)
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Per-snapshot accounting."""
+
+    iteration: int
+    max_load: int
+    imbalance: float
+    compute_time: float
+    comm_time: float
+    migration_time: float
+    repartitioned: bool
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.comm_time + self.migration_time
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated result of a simulated run."""
+
+    steps: list[StepStats] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.total_time for s in self.steps)
+
+    @property
+    def compute_time(self) -> float:
+        return sum(s.compute_time for s in self.steps)
+
+    @property
+    def comm_time(self) -> float:
+        return sum(s.comm_time for s in self.steps)
+
+    @property
+    def migration_time(self) -> float:
+        return sum(s.migration_time for s in self.steps)
+
+    @property
+    def mean_imbalance(self) -> float:
+        if not self.steps:
+            return 0.0
+        return float(np.mean([s.imbalance for s in self.steps]))
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"steps={len(self.steps)} total={self.total_time:.3f}s "
+            f"(comp={self.compute_time:.3f} comm={self.comm_time:.3f} "
+            f"mig={self.migration_time:.3f}) mean_imb={self.mean_imbalance:.3%}"
+        )
+
+
+class BSPSimulator:
+    """Simulate a dynamic application over load snapshots.
+
+    Parameters
+    ----------
+    m:
+        Number of processors.
+    partitioner:
+        ``(PrefixSum2D, m) -> Partition`` — typically a closure over
+        :func:`repro.partition_2d`.
+    cost:
+        The :class:`CostModel`.
+    repartition_every:
+        Recompute the partition every k snapshots (1 = always; 0 = never
+        after the first — a static decomposition).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        partitioner: Partitioner,
+        *,
+        cost: CostModel | None = None,
+        repartition_every: int = 1,
+    ):
+        self.m = m
+        self.partitioner = partitioner
+        self.cost = cost or CostModel()
+        self.repartition_every = repartition_every
+
+    def run(
+        self, snapshots: Iterable[tuple[int, np.ndarray]], *, steps_per_snapshot: int = 1
+    ) -> SimulationReport:
+        """Run over ``(iteration, load_matrix)`` pairs and account the costs.
+
+        ``steps_per_snapshot`` multiplies compute/communication time (the
+        application executes that many solver steps between load changes).
+        """
+        report = SimulationReport()
+        part: Partition | None = None
+        c = self.cost
+        for idx, (iteration, A) in enumerate(snapshots):
+            pref = PrefixSum2D(A)
+            repartition = part is None or (
+                self.repartition_every > 0 and idx % self.repartition_every == 0
+            )
+            mig_time = 0.0
+            if repartition:
+                new_part = self.partitioner(pref, self.m)
+                if part is not None:
+                    mig_time = c.gamma * migration_volume(part, new_part, pref)
+                part = new_part
+            assert part is not None
+            lmax = part.max_load(pref)
+            lat = c.latency * int(neighbor_counts(part).max(initial=0)) if c.latency else 0.0
+            lavg = pref.total / self.m
+            report.steps.append(
+                StepStats(
+                    iteration=iteration,
+                    max_load=lmax,
+                    imbalance=(lmax / lavg - 1.0) if lavg else 0.0,
+                    compute_time=c.alpha * lmax * steps_per_snapshot,
+                    comm_time=(c.beta * max_boundary(part) + lat) * steps_per_snapshot,
+                    migration_time=mig_time,
+                    repartitioned=repartition,
+                )
+            )
+        return report

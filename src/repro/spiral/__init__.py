@@ -1,0 +1,5 @@
+"""Spiral partitions — the §3.4 general recursive scheme, implemented."""
+
+from .peel import SIDES, spiral_opt, spiral_opt_bottleneck, spiral_relaxed
+
+__all__ = ["SIDES", "spiral_opt", "spiral_opt_bottleneck", "spiral_relaxed"]

@@ -1,0 +1,215 @@
+"""Spiral partitions (paper §3.4, Figure 1(e)).
+
+Section 3.4 observes that any recursively defined partitioning scheme with a
+polynomial number of choices per level admits an optimal dynamic program —
+"the only difference will be in the cost of evaluating the function calls" —
+and that such DPs "can generate heuristics similarly to HIER-RELAXED".  The
+paper does not implement spiral partitions; this module does both
+constructions for the class:
+
+* :func:`spiral_opt` — the exact DP over (sub-rectangle, side, processors),
+  feasible for small instances only (the paper's point exactly);
+* :func:`spiral_relaxed` — the HIER-RELAXED-style heuristic extracted from
+  it: at each step the next strip is peeled off the current side so that its
+  load best matches its processor share under the average-load relaxation.
+
+A spiral partition peels full-width/height strips off the rectangle's sides
+in rotating order (top → right → bottom → left …); each strip is one
+processor's rectangle.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.errors import ParameterError
+from ..core.partition import Partition
+from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+from ..core.rectangle import Rect
+
+__all__ = ["spiral_relaxed", "spiral_opt", "spiral_opt_bottleneck", "SIDES"]
+
+#: strip sides in spiral order: top (rows), right (cols), bottom, left
+SIDES = ("top", "right", "bottom", "left")
+
+
+def _strip(rect: Rect, side: str, width: int) -> tuple[Rect, Rect]:
+    """Split ``rect`` into (peeled strip, remainder) at ``width`` cells."""
+    r0, r1, c0, c1 = rect.r0, rect.r1, rect.c0, rect.c1
+    if side == "top":
+        return Rect(r0, r0 + width, c0, c1), Rect(r0 + width, r1, c0, c1)
+    if side == "bottom":
+        return Rect(r1 - width, r1, c0, c1), Rect(r0, r1 - width, c0, c1)
+    if side == "left":
+        return Rect(r0, r1, c0, c0 + width), Rect(r0, r1, c0 + width, c1)
+    if side == "right":
+        return Rect(r0, r1, c1 - width, c1), Rect(r0, r1, c0, c1 - width)
+    raise ParameterError(f"unknown side {side!r}")
+
+
+def _side_extent(rect: Rect, side: str) -> int:
+    return rect.height if side in ("top", "bottom") else rect.width
+
+
+def _strip_load(pref: PrefixSum2D, rect: Rect, side: str, width: int) -> int:
+    s, _ = _strip(rect, side, width)
+    return pref.load(s.r0, s.r1, s.c0, s.c1)
+
+
+def spiral_relaxed(A: MatrixLike, m: int, *, start_side: str = "top") -> Partition:
+    """Spiral heuristic: peel one strip per processor in rotating side order.
+
+    At each step the strip width is chosen so the strip load is closest to
+    the remaining average load (the HIER-RELAXED relaxation with j = 1): a
+    binary search over the monotone strip load.  The last processor takes
+    the remaining rectangle.
+    """
+    if m <= 0:
+        raise ParameterError("m must be positive")
+    if start_side not in SIDES:
+        raise ParameterError(f"start_side must be one of {SIDES}")
+    pref = prefix_2d(A)
+    rect = Rect(0, pref.n1, 0, pref.n2)
+    rects: list[Rect] = []
+    side_idx = SIDES.index(start_side)
+    for k in range(m - 1):
+        remaining = m - k
+        if rect.is_empty:
+            rects.append(Rect(rect.r0, rect.r0, rect.c0, rect.c0))
+            continue
+        side = SIDES[side_idx % 4]
+        side_idx += 1
+        extent = _side_extent(rect, side)
+        if extent <= 1:
+            # cannot peel without emptying the remainder: rotate to the
+            # perpendicular side if possible
+            side = SIDES[(side_idx) % 4]
+            side_idx += 1
+            extent = _side_extent(rect, side)
+            if extent <= 1:
+                rects.append(rect)
+                rect = Rect(rect.r0, rect.r0, rect.c0, rect.c0)
+                continue
+        total = pref.load(rect.r0, rect.r1, rect.c0, rect.c1)
+        target = total / remaining
+        lo, hi = 1, extent - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _strip_load(pref, rect, side, mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        # lo = first width with load >= target; compare with lo - 1
+        best_w = lo
+        if lo > 1:
+            below = abs(_strip_load(pref, rect, side, lo - 1) - target)
+            at = abs(_strip_load(pref, rect, side, lo) - target)
+            if below <= at:
+                best_w = lo - 1
+        strip, rect = _strip(rect, side, best_w)
+        rects.append(strip)
+    rects.append(rect)
+    return Partition(rects, pref.shape, method="SPIRAL-RELAXED")
+
+
+# ----------------------------------------------------------------------
+# exact DP (small instances) — the §3.4 construction
+# ----------------------------------------------------------------------
+def spiral_opt_bottleneck(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> int:
+    """Optimal spiral-partition bottleneck via the §3.4 dynamic program.
+
+    State: (sub-rectangle, side to peel next, processors).  Each level peels
+    one strip for one processor off the prescribed side; the side rotates.
+    All four starting sides are tried.  Complexity O(n1²·n2²·m·max(n1,n2)) —
+    a small-instance oracle, as the paper predicts.
+    """
+    pref = prefix_2d(A)
+    cost = pref.n1 * pref.n1 * pref.n2 * pref.n2 * m
+    if cost > limit:
+        raise ParameterError(
+            f"instance too large for the spiral DP (n1²·n2²·m = {cost} > {limit})"
+        )
+
+    @lru_cache(maxsize=None)
+    def solve(r0: int, r1: int, c0: int, c1: int, side_idx: int, procs: int) -> int:
+        rect = Rect(r0, r1, c0, c1)
+        load = pref.load(r0, r1, c0, c1)
+        if procs == 1 or rect.is_empty:
+            return load
+        side = SIDES[side_idx % 4]
+        extent = _side_extent(rect, side)
+        best = None
+        for width in range(1, extent + 1):
+            strip, rest = _strip(rect, side, width)
+            sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
+            if best is not None and sl >= best:
+                break  # strip load is monotone in width
+            v = max(
+                sl,
+                solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1),
+            )
+            if best is None or v < best:
+                best = v
+        # peeling nothing from this side is also allowed (skip a rotation)
+        skip = solve(r0, r1, c0, c1, side_idx + 1, procs) if extent == 0 else None
+        if skip is not None and (best is None or skip < best):
+            best = skip
+        return load if best is None else best
+
+    return min(solve(0, pref.n1, 0, pref.n2, s, m) for s in range(4))
+
+
+def spiral_opt(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> Partition:
+    """Optimal spiral partition (small instances; backtracks the §3.4 DP)."""
+    pref = prefix_2d(A)
+    target = spiral_opt_bottleneck(pref, m, limit=limit)
+    # greedy reconstruction: at each level pick any (side-consistent) strip
+    # whose max(strip, optimal rest) equals the target
+    rects: list[Rect] = []
+    rect = Rect(0, pref.n1, 0, pref.n2)
+
+    @lru_cache(maxsize=None)
+    def solve(r0, r1, c0, c1, side_idx, procs) -> int:
+        inner = Rect(r0, r1, c0, c1)
+        load = pref.load(r0, r1, c0, c1)
+        if procs == 1 or inner.is_empty:
+            return load
+        side = SIDES[side_idx % 4]
+        extent = _side_extent(inner, side)
+        best = load
+        found = False
+        for width in range(1, extent + 1):
+            strip, rest = _strip(inner, side, width)
+            sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
+            if found and sl >= best:
+                break
+            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1))
+            if not found or v < best:
+                best, found = v, True
+        return best
+
+    start = min(range(4), key=lambda s: solve(0, pref.n1, 0, pref.n2, s, m))
+    side_idx = start
+    procs = m
+    while procs > 1 and not rect.is_empty:
+        side = SIDES[side_idx % 4]
+        extent = _side_extent(rect, side)
+        chosen = None
+        for width in range(1, extent + 1):
+            strip, rest = _strip(rect, side, width)
+            sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
+            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1))
+            if v == solve(rect.r0, rect.r1, rect.c0, rect.c1, side_idx, procs):
+                chosen = (strip, rest)
+                break
+        if chosen is None:  # no strip achieves the value: stop peeling
+            break
+        rects.append(chosen[0])
+        rect = chosen[1]
+        side_idx += 1
+        procs -= 1
+    rects.append(rect)
+    rects.extend(Rect(0, 0, 0, 0) for _ in range(m - len(rects)))
+    part = Partition(rects, pref.shape, method="SPIRAL-OPT")
+    assert part.max_load(pref) == target, "backtracking must reach the DP optimum"
+    return part

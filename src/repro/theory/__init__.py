@@ -1,0 +1,23 @@
+"""Worst-case analysis: Lemma 1 and Theorems 1–4 of the paper."""
+
+from .bounds import (
+    delta_of,
+    jag_m_guarantee,
+    jag_pq_guarantee,
+    lemma1_dc_bound,
+    theorem1_ratio,
+    theorem2_best_p,
+    theorem3_ratio,
+    theorem4_best_p,
+)
+
+__all__ = [
+    "delta_of",
+    "jag_m_guarantee",
+    "jag_pq_guarantee",
+    "lemma1_dc_bound",
+    "theorem1_ratio",
+    "theorem2_best_p",
+    "theorem3_ratio",
+    "theorem4_best_p",
+]

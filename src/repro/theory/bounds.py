@@ -1,0 +1,112 @@
+"""Worst-case guarantees of the paper (Lemma 1, Theorems 1–4).
+
+All formulas assume a zero-free load matrix with element ratio
+``Δ = max A[i][j] / min A[i][j]`` (the paper's hypothesis "if there is no
+zero in the array").  ``delta_of`` computes Δ and raises on matrices with
+zeros (e.g. the SLAC mesh, for which "Δ is undefined", §4.1).
+
+The bounds are *approximation ratios*: a ρ-approximation yields load
+imbalance at most ρ - 1 (§2.1).  Property tests assert that the heuristics
+never exceed their guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import ParameterError
+from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+
+__all__ = [
+    "delta_of",
+    "jag_m_guarantee",
+    "jag_pq_guarantee",
+    "lemma1_dc_bound",
+    "theorem1_ratio",
+    "theorem2_best_p",
+    "theorem3_ratio",
+    "theorem4_best_p",
+]
+
+
+def delta_of(A: MatrixLike) -> float:
+    """Element ratio ``Δ = max / min`` of a zero-free load matrix."""
+    if isinstance(A, PrefixSum2D):
+        cells = np.diff(np.diff(A.G, axis=0), axis=1)
+    else:
+        cells = np.asarray(A)
+    mn = cells.min()
+    if mn <= 0:
+        raise ParameterError("Δ is undefined for matrices containing zeros (§4.1)")
+    return float(cells.max() / mn)
+
+
+def lemma1_dc_bound(total: int, m: int, n: int, delta: float) -> float:
+    """Lemma 1: ``Lmax(DC) <= (total/m)(1 + Δ·m/n)`` for zero-free 1D arrays."""
+    if m <= 0 or n <= 0 or delta < 1:
+        raise ParameterError("need m, n >= 1 and Δ >= 1")
+    return (total / m) * (1.0 + delta * m / n)
+
+
+def theorem1_ratio(delta: float, P: int, Q: int, n1: int, n2: int) -> float:
+    """Theorem 1: JAG-PQ-HEUR is a ``(1 + Δ·P/n1)(1 + Δ·Q/n2)``-approximation.
+
+    Requires ``P < n1`` and ``Q < n2`` (each stripe/interval must contain at
+    least one full line of cells).
+    """
+    if not (0 < P < n1 and 0 < Q < n2):
+        raise ParameterError("Theorem 1 requires 0 < P < n1 and 0 < Q < n2")
+    if delta < 1:
+        raise ParameterError("Δ >= 1")
+    return (1.0 + delta * P / n1) * (1.0 + delta * Q / n2)
+
+
+def theorem2_best_p(m: int, n1: int, n2: int) -> float:
+    """Theorem 2: the ratio of Theorem 1 is minimized at ``P = sqrt(m·n1/n2)``."""
+    if m <= 0 or n1 <= 0 or n2 <= 0:
+        raise ParameterError("need positive m, n1, n2")
+    return math.sqrt(m * n1 / n2)
+
+
+def theorem3_ratio(delta: float, P: int, m: int, n1: int, n2: int) -> float:
+    """Theorem 3: JAG-M-HEUR approximation ratio with ``P`` stripes.
+
+    ``m/(m-P)·(1 + Δ/n2) + Δ·m/(P·n2)·(1 + Δ·P/n1)``; requires ``P < n1``
+    and ``P < m``.
+    """
+    if not (0 < P < n1):
+        raise ParameterError("Theorem 3 requires 0 < P < n1")
+    if not (P < m):
+        raise ParameterError("Theorem 3 requires P < m")
+    if delta < 1:
+        raise ParameterError("Δ >= 1")
+    return (m / (m - P)) * (1.0 + delta / n2) + (delta * m / (P * n2)) * (
+        1.0 + delta * P / n1
+    )
+
+
+def theorem4_best_p(delta: float, m: int, n2: int) -> float:
+    """Theorem 4: the ratio of Theorem 3 is minimized at
+    ``P = m(sqrt(Δ(Δ + n2)) - Δ)/n2``.
+
+    Notably linear in ``m`` and independent of ``n1``; the paper observes the
+    Δ-dependence makes it hard to use in practice and falls back to
+    ``P = √m`` (tested and swept in Figure 9).
+    """
+    if delta < 1 or m <= 0 or n2 <= 0:
+        raise ParameterError("need Δ >= 1 and positive m, n2")
+    return m * (math.sqrt(delta * (delta + n2)) - delta) / n2
+
+
+def jag_pq_guarantee(A: MatrixLike, P: int, Q: int) -> float:
+    """Theorem 1 instantiated on a concrete matrix (convenience wrapper)."""
+    pref = prefix_2d(A)
+    return theorem1_ratio(delta_of(pref), P, Q, pref.n1, pref.n2)
+
+
+def jag_m_guarantee(A: MatrixLike, P: int, m: int) -> float:
+    """Theorem 3 instantiated on a concrete matrix (convenience wrapper)."""
+    pref = prefix_2d(A)
+    return theorem3_ratio(delta_of(pref), P, m, pref.n1, pref.n2)

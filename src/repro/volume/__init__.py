@@ -1,0 +1,22 @@
+"""Rectangular-volume (3D) partitioning — the paper's "rectangular volumes".
+
+Extends the 2D machinery to three dimensions: ``Γ₃`` prefix sums with O(1)
+box loads, a box partition container with the §2.1 validity test, and 3D
+lifts of RECT-UNIFORM, JAG-M-HEUR and HIER-RB.
+"""
+
+from .algorithms import choose_pqr, vol_hier_rb, vol_jag_m_heur, vol_uniform
+from .box import Box
+from .partition3d import Partition3D
+from .prefix3d import PrefixSum3D, as_load_volume
+
+__all__ = [
+    "choose_pqr",
+    "vol_hier_rb",
+    "vol_jag_m_heur",
+    "vol_uniform",
+    "Box",
+    "Partition3D",
+    "PrefixSum3D",
+    "as_load_volume",
+]

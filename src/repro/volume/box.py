@@ -1,0 +1,92 @@
+"""Axis-aligned boxes (rectangular volumes) with half-open semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """Half-open box ``[a0, a1) × [b0, b1) × [c0, c1)``."""
+
+    a0: int
+    a1: int
+    b0: int
+    b1: int
+    c0: int
+    c1: int
+
+    def __post_init__(self) -> None:
+        if self.a1 < self.a0 or self.b1 < self.b0 or self.c1 < self.c0:
+            raise ValueError(f"malformed box {self!r}")
+
+    @property
+    def extents(self) -> tuple[int, int, int]:
+        """Edge lengths along the three axes."""
+        return (self.a1 - self.a0, self.b1 - self.b0, self.c1 - self.c0)
+
+    @property
+    def volume(self) -> int:
+        """Number of cells covered."""
+        e = self.extents
+        return e[0] * e[1] * e[2]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the box covers no cell."""
+        return self.volume == 0
+
+    def contains(self, i: int, j: int, k: int) -> bool:
+        """Whether cell ``(i, j, k)`` lies inside this box."""
+        return (
+            self.a0 <= i < self.a1
+            and self.b0 <= j < self.b1
+            and self.c0 <= k < self.c1
+        )
+
+    def overlaps(self, other: "Box") -> bool:
+        """Whether the two boxes share at least one cell."""
+        return (
+            self.a0 < other.a1
+            and other.a0 < self.a1
+            and self.b0 < other.b1
+            and other.b0 < self.b1
+            and self.c0 < other.c1
+            and other.c0 < self.c1
+        )
+
+    def intersect(self, other: "Box") -> Optional["Box"]:
+        """Intersection box, or None when disjoint."""
+        a0, a1 = max(self.a0, other.a0), min(self.a1, other.a1)
+        b0, b1 = max(self.b0, other.b0), min(self.b1, other.b1)
+        c0, c1 = max(self.c0, other.c0), min(self.c1, other.c1)
+        if a0 >= a1 or b0 >= b1 or c0 >= c1:
+            return None
+        return Box(a0, a1, b0, b1, c0, c1)
+
+    def surface_area(self, n0: int, n1: int, n2: int) -> int:
+        """Cell faces shared with *other* cells of an ``n0×n1×n2`` grid.
+
+        The 3D analogue of :meth:`repro.core.rectangle.Rect.boundary_length`
+        — the communication proxy for 6-neighbour stencils.
+        """
+        if self.is_empty:
+            return 0
+        ea, eb, ec = self.extents
+        area = 0
+        if self.a0 > 0:
+            area += eb * ec
+        if self.a1 < n0:
+            area += eb * ec
+        if self.b0 > 0:
+            area += ea * ec
+        if self.b1 < n1:
+            area += ea * ec
+        if self.c0 > 0:
+            area += ea * eb
+        if self.c1 < n2:
+            area += ea * eb
+        return area

@@ -1,0 +1,157 @@
+"""Partition of a 3D load volume into boxes (rectangular volumes)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import InvalidPartitionError, ParameterError
+from .box import Box
+from .prefix3d import PrefixSum3D
+
+__all__ = ["Partition3D"]
+
+
+class Partition3D:
+    """A set of ``m`` boxes partitioning an ``n0 × n1 × n2`` volume.
+
+    The 3D analogue of :class:`repro.core.partition.Partition`: validity is
+    pairwise disjointness plus full coverage; loads come from ``Γ₃`` corner
+    gathers, fully vectorized over the boxes.
+    """
+
+    __slots__ = ("boxes", "shape", "method", "meta")
+
+    def __init__(
+        self,
+        boxes: Sequence[Box],
+        shape: tuple[int, int, int],
+        *,
+        method: str = "",
+        meta: dict | None = None,
+    ):
+        self.boxes: tuple[Box, ...] = tuple(boxes)
+        self.shape = (int(shape[0]), int(shape[1]), int(shape[2]))
+        self.method = method
+        self.meta = dict(meta or {})
+
+    @property
+    def m(self) -> int:
+        """Number of processors (boxes), including idle ones."""
+        return len(self.boxes)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __iter__(self):
+        return iter(self.boxes)
+
+    def __getitem__(self, i: int) -> Box:
+        return self.boxes[i]
+
+    def __repr__(self) -> str:
+        return f"<{self.method or 'Partition3D'} m={self.m} shape={self.shape}>"
+
+    # ------------------------------------------------------------------
+    def coords(self) -> np.ndarray:
+        """``(m, 6)`` int array of box coordinates."""
+        if not self.boxes:
+            return np.zeros((0, 6), dtype=np.int64)
+        return np.array(
+            [(b.a0, b.a1, b.b0, b.b1, b.c0, b.c1) for b in self.boxes],
+            dtype=np.int64,
+        )
+
+    def validate(self) -> None:
+        """Disjointness + coverage, the 3D form of the §2.1 validity test."""
+        n0, n1, n2 = self.shape
+        coords = self.coords()
+        if coords.size == 0:
+            raise InvalidPartitionError("partition has no boxes")
+        ext = coords[:, 1::2] - coords[:, 0::2]
+        nonempty = coords[(ext > 0).all(axis=1)]
+        if nonempty.size:
+            if (
+                (nonempty[:, 0::2] < 0).any()
+                or (nonempty[:, 1] > n0).any()
+                or (nonempty[:, 3] > n1).any()
+                or (nonempty[:, 5] > n2).any()
+            ):
+                raise InvalidPartitionError("box outside the volume")
+        vols = np.prod(nonempty[:, 1::2] - nonempty[:, 0::2], axis=1)
+        if int(vols.sum()) != n0 * n1 * n2:
+            raise InvalidPartitionError(
+                f"volumes sum to {int(vols.sum())}, expected {n0 * n1 * n2}"
+            )
+        # pairwise overlap (vectorized, chunked)
+        a0, a1, b0, b1, c0, c1 = nonempty.T
+        k = len(nonempty)
+        chunk = 256
+        for lo in range(0, k, chunk):
+            hi = min(lo + chunk, k)
+            ov = (
+                (a0[lo:hi, None] < a1[None, :])
+                & (a0[None, :] < a1[lo:hi, None])
+                & (b0[lo:hi, None] < b1[None, :])
+                & (b0[None, :] < b1[lo:hi, None])
+                & (c0[lo:hi, None] < c1[None, :])
+                & (c0[None, :] < c1[lo:hi, None])
+            )
+            ov &= np.arange(lo, hi)[:, None] < np.arange(k)[None, :]
+            if ov.any():
+                i, j = np.argwhere(ov)[0]
+                raise InvalidPartitionError(
+                    f"boxes overlap: {nonempty[lo + i]} and {nonempty[j]}"
+                )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate()
+        except InvalidPartitionError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def loads(self, pref: PrefixSum3D) -> np.ndarray:
+        """Per-processor loads (vectorized 8-corner gather)."""
+        coords = self.coords()
+        if coords.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        G = pref.G
+        a0, a1, b0, b1, c0, c1 = coords.T
+        return (
+            G[a1, b1, c1]
+            - G[a0, b1, c1]
+            - G[a1, b0, c1]
+            - G[a1, b1, c0]
+            + G[a0, b0, c1]
+            + G[a0, b1, c0]
+            + G[a1, b0, c0]
+            - G[a0, b0, c0]
+        )
+
+    def max_load(self, pref: PrefixSum3D) -> int:
+        """Load of the most loaded processor."""
+        return int(self.loads(pref).max())
+
+    def imbalance(self, pref: PrefixSum3D) -> float:
+        """Load imbalance ``Lmax / Lavg - 1``."""
+        lavg = pref.total / self.m
+        return self.max_load(pref) / lavg - 1.0 if lavg else 0.0
+
+    def owner_of(self, i: int, j: int, k: int) -> int:
+        """Processor owning cell ``(i, j, k)`` (linear scan)."""
+        n0, n1, n2 = self.shape
+        if not (0 <= i < n0 and 0 <= j < n1 and 0 <= k < n2):
+            raise ParameterError(f"cell ({i},{j},{k}) outside volume {self.shape}")
+        for p, b in enumerate(self.boxes):
+            if b.contains(i, j, k):
+                return p
+        raise InvalidPartitionError(f"cell ({i},{j},{k}) is not covered")
+
+    def communication_volume(self) -> int:
+        """Total cell faces crossing box boundaries (6-neighbour stencil)."""
+        n0, n1, n2 = self.shape
+        return sum(b.surface_area(n0, n1, n2) for b in self.boxes) // 2

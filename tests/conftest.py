@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+
+def prefix_of(values) -> np.ndarray:
+    """Prefix array of a 1D load list/array."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.concatenate([[0], np.cumsum(values)]).astype(np.int64)
+
+
+# 1D load arrays (possibly containing zeros)
+load_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 30),
+    elements=st.integers(0, 60),
+)
+
+# strictly positive 1D load arrays (for Δ-based theory)
+positive_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 30),
+    elements=st.integers(1, 60),
+)
+
+# small 2D load matrices
+load_matrices = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 10), st.integers(1, 10)),
+    elements=st.integers(0, 40),
+)
+
+positive_matrices = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.integers(1, 40),
+)
+
+proc_counts = st.integers(1, 9)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep dataset caches inside the test sandbox."""
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))

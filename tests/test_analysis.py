@@ -1,0 +1,58 @@
+"""Tests for the partition analysis report."""
+
+import numpy as np
+import pytest
+
+from repro import partition_2d
+from repro.core.analysis import analyze
+from repro.instances import peak
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def case(self, rng):
+        A = peak(48, seed=2)
+        part = partition_2d(A, 12, "JAG-M-HEUR")
+        return A, part, analyze(A, part)
+
+    def test_identity_fields(self, case):
+        A, part, rep = case
+        assert rep.method == part.method
+        assert rep.shape == (48, 48)
+        assert rep.m == 12
+        assert rep.total_load == A.sum()
+        assert rep.max_load == part.max_load(A)
+
+    def test_consistency(self, case):
+        A, part, rep = case
+        assert rep.min_load <= rep.mean_load <= rep.max_load
+        assert rep.lower_bound <= rep.max_load
+        assert rep.optimality_gap >= 0
+        assert rep.imbalance == pytest.approx(part.imbalance(A))
+        assert rep.worst_aspect >= 1.0
+        assert rep.active <= rep.m
+
+    def test_percentiles_ordered(self, case):
+        _, _, rep = case
+        ps = [rep.load_percentiles[p] for p in (10, 50, 90, 99)]
+        assert ps == sorted(ps)
+
+    def test_text_rendering(self, case):
+        _, _, rep = case
+        text = rep.to_text()
+        assert "imbalance" in text and "comm volume" in text
+        assert "JAG-M-HEUR" in text
+
+    def test_optimal_partition_zero_gap(self):
+        # uniform 4x4 matrix, 4 procs: the uniform grid is provably optimal
+        A = np.full((4, 4), 5, dtype=np.int64)
+        part = partition_2d(A, 4, "RECT-UNIFORM")
+        rep = analyze(A, part)
+        assert rep.optimality_gap == 0.0
+
+    def test_idle_processors_counted(self):
+        A = np.full((2, 2), 3, dtype=np.int64)
+        part = partition_2d(A, 9, "HIER-RB")
+        rep = analyze(A, part)
+        assert rep.active <= 4
+        assert rep.m == 9

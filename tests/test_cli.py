@@ -1,0 +1,80 @@
+"""Tests for the repro-partition command-line tool."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import load_partition
+
+
+@pytest.fixture()
+def matrix_file(tmp_path, rng):
+    A = rng.integers(1, 100, (24, 24)).astype(np.int64)
+    path = tmp_path / "load.npy"
+    np.save(path, A)
+    return path, A
+
+
+class TestCli:
+    def test_report(self, matrix_file, capsys):
+        path, A = matrix_file
+        rc = main([str(path), "-m", "6", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out and "JAG-M-HEUR" in out
+
+    def test_writes_partition_and_image(self, matrix_file, tmp_path, capsys):
+        path, A = matrix_file
+        out = tmp_path / "part.json"
+        img = tmp_path / "part.ppm"
+        rc = main([str(path), "-m", "4", "--out", str(out), "--image", str(img)])
+        assert rc == 0
+        part = load_partition(out)
+        part.validate()
+        assert part.m == 4
+        assert img.read_bytes().startswith(b"P6")
+
+    def test_ascii(self, matrix_file, capsys):
+        path, _ = matrix_file
+        main([str(path), "-m", "4", "--ascii"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 24
+
+    def test_npz_with_key(self, tmp_path, rng, capsys):
+        A = rng.integers(1, 9, (8, 8))
+        path = tmp_path / "data.npz"
+        np.savez(path, other=np.zeros(3), load=A)
+        rc = main([str(path), "-m", "2", "--key", "load", "--report"])
+        assert rc == 0
+
+    def test_npz_bad_key(self, tmp_path, rng):
+        path = tmp_path / "data.npz"
+        np.savez(path, load=rng.integers(1, 9, (4, 4)))
+        with pytest.raises(SystemExit):
+            main([str(path), "-m", "2", "--key", "missing"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "nope.npy"), "-m", "2"])
+
+    def test_bad_method(self, matrix_file):
+        path, _ = matrix_file
+        with pytest.raises(SystemExit):
+            main([str(path), "-m", "2", "--method", "MAGIC"])
+
+    def test_bad_matrix(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.array([1, 2, 3]))  # 1D
+        with pytest.raises(SystemExit):
+            main([str(path), "-m", "2"])
+
+    def test_bad_m(self, matrix_file):
+        path, _ = matrix_file
+        with pytest.raises(SystemExit):
+            main([str(path), "-m", "0"])
+
+    def test_unsupported_format(self, tmp_path):
+        path = tmp_path / "load.txt"
+        path.write_text("1 2 3")
+        with pytest.raises(SystemExit):
+            main([str(path), "-m", "2"])

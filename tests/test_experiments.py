@@ -1,0 +1,188 @@
+"""Tests for the experiment harness, scale profiles, figure functions, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_FIGURES, FigureResult, get_scale
+from repro.experiments.cli import main
+from repro.experiments.scale import PAPER, SMALL, Scale
+from repro.instances.pic import PICConfig
+
+#: micro profile so every figure runs in seconds inside the test suite
+TINY = Scale(
+    name="tiny",
+    m_values=(4, 9, 16),
+    m_cap_pq_opt=16,
+    m_cap_m_opt=9,
+    n_peak=24,
+    n_multipeak=24,
+    n_diagonal=32,
+    n_uniform=24,
+    n_fig9=34,
+    m_fig9=12,
+    fig9_stripes=(2, 3, 5, 8),
+    n_slac=32,
+    seeds=2,
+    pic=PICConfig(grid=24, particles=1200, seed=3),
+    pic_period=100,
+    pic_max_iteration=300,
+    pic_fig7_iteration=300,
+    pic_fig13_iteration=200,
+    m_fig8=9,
+    m_fig11=6,
+    m_fig12=12,
+)
+
+
+class TestScale:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale(None).name == "small"
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale(None).name == "paper"
+
+    def test_by_name(self):
+        assert get_scale("small") is SMALL
+        assert get_scale("paper") is PAPER
+        assert get_scale(TINY) is TINY
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_paper_profile_matches_paper_numbers(self):
+        assert PAPER.n_uniform == 512
+        assert PAPER.n_diagonal == 4096
+        assert PAPER.n_fig9 == 514 and PAPER.m_fig9 == 800
+        assert PAPER.m_fig8 == 6400 and PAPER.m_fig12 == 9216
+        assert PAPER.pic_period == 500 and PAPER.pic_max_iteration == 33_500
+        assert PAPER.m_cap_m_opt <= 1024  # "prohibitive" beyond 1,000 (§4.4)
+
+
+class TestFigureResult:
+    def test_add_and_table(self):
+        r = FigureResult("figX", "demo", "m", "imbalance")
+        r.add("A", 4, 0.5)
+        r.add("A", 9, 0.25)
+        r.add("B", 4, 0.75)
+        table = r.to_table()
+        assert "figX" in table and "A" in table and "B" in table
+        assert "0.5000" in table and "-" in table  # missing B@9 rendered as -
+
+    def test_csv_roundtrip(self, tmp_path):
+        r = FigureResult("figY", "demo", "m", "y")
+        r.add("s", 1, 0.125)
+        path = r.to_csv(tmp_path / "figY.csv")
+        text = path.read_text()
+        assert text.splitlines()[0] == "m,s"
+        assert "0.125" in text
+
+    def test_xs_sorted_union(self):
+        r = FigureResult("f", "t", "x", "y")
+        r.add("a", 5, 1)
+        r.add("b", 2, 1)
+        r.add("a", 2, 1)
+        assert r.xs() == [2.0, 5.0]
+
+
+@pytest.mark.parametrize("fig", sorted(ALL_FIGURES))
+def test_every_figure_runs_tiny(fig):
+    result = ALL_FIGURES[fig](TINY)
+    assert isinstance(result, FigureResult)
+    assert result.fig == fig
+    assert result.series, f"{fig} produced no series"
+    for name, pts in result.series.items():
+        assert pts, f"{fig}/{name} is empty"
+        for _, y in pts:
+            assert np.isfinite(y)
+    # imbalance figures are non-negative; runtime figure is positive
+    if fig != "fig06":
+        assert all(y >= -1e-9 for pts in result.series.values() for _, y in pts)
+
+
+class TestFigureSemantics:
+    def test_fig07_mopt_capped(self):
+        r = ALL_FIGURES["fig07"](TINY)
+        xs_mopt = [x for x, _ in r.series["JAG-M-OPT"]]
+        assert max(xs_mopt) <= TINY.m_cap_m_opt
+        assert "JAG-PQ-HEUR" in r.series and "JAG-M-HEUR" in r.series
+
+    def test_fig08_iterations_axis(self):
+        r = ALL_FIGURES["fig08"](TINY)
+        xs = [x for x, _ in r.series["JAG-M-HEUR"]]
+        assert xs == [0, 100, 200, 300]
+
+    def test_fig09_has_guarantee_series(self):
+        r = ALL_FIGURES["fig09"](TINY)
+        assert any("guarantee" in k for k in r.series)
+        meas = dict(r.series["JAG-M-HEUR variable P"])
+        guar = dict(r.series["m-way jagged guarantee (Thm 3)"])
+        for P, v in meas.items():
+            assert v <= guar[P] + 1e-9  # measured within the worst-case bound
+
+    def test_fig12_contains_all_heuristics(self):
+        r = ALL_FIGURES["fig12"](TINY)
+        assert set(r.series) == {
+            "RECT-UNIFORM",
+            "RECT-NICOL",
+            "JAG-PQ-HEUR",
+            "JAG-M-HEUR",
+            "HIER-RB",
+            "HIER-RELAXED",
+        }
+
+
+class TestCli:
+    def test_requires_figures(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_figure(self, capsys, monkeypatch, tmp_path):
+        # run the smallest real profile figure through the CLI
+        monkeypatch.setattr(
+            "repro.experiments.cli.ALL_RUNNABLE", {"fig05": lambda sc: _tiny_fig()}
+        )
+        rc = main(["--figures", "fig05", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert (tmp_path / "fig05.csv").exists()
+
+
+def _tiny_fig():
+    r = FigureResult("fig05", "demo", "m", "y")
+    r.add("s", 1, 0.5)
+    return r
+
+
+class TestDeterminism:
+    def test_figures_deterministic(self):
+        """Re-running an experiment yields bit-identical series."""
+        a = ALL_FIGURES["fig05"](TINY)
+        b = ALL_FIGURES["fig05"](TINY)
+        assert a.series == b.series
+
+    def test_timed_helper(self):
+        from repro.experiments.harness import timed
+
+        dt, out = timed(sum, range(1000))
+        assert out == sum(range(1000))
+        assert dt >= 0.0
+
+
+class TestGallery:
+    def test_make_gallery(self, tmp_path):
+        from repro.experiments.gallery import make_gallery
+
+        paths = make_gallery(tmp_path, TINY, n=24, m=5)
+        assert len(paths) == 11  # 5 partition classes + 6 instance classes
+        for p in paths:
+            data = p.read_bytes()
+            assert data.startswith(b"P6")
+        names = {p.name for p in paths}
+        assert "fig1_m_jagged.ppm" in names and "fig2_pic_mag.ppm" in names
+
+    def test_gallery_via_cli(self, tmp_path):
+        from repro.experiments.cli import main as cli_main
+
+        rc = cli_main(["--gallery", str(tmp_path / "g")])
+        assert rc == 0
+        assert len(list((tmp_path / "g").glob("*.ppm"))) == 11

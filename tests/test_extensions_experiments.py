@@ -1,0 +1,45 @@
+"""Tests for the §5 extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import ALL_EXTENSIONS
+
+from .test_experiments import TINY
+
+
+@pytest.mark.parametrize("ext", sorted(ALL_EXTENSIONS))
+def test_every_extension_runs_tiny(ext):
+    res = ALL_EXTENSIONS[ext](TINY)
+    assert res.fig == ext
+    assert res.series
+    for pts in res.series.values():
+        assert pts
+        assert all(np.isfinite(y) for _, y in pts)
+
+
+class TestExtensionSemantics:
+    def test_ext1_has_all_heuristics(self):
+        res = ALL_EXTENSIONS["ext1"](TINY)
+        assert "JAG-M-HEUR" in res.series and "HIER-RB" in res.series
+        # communication volumes are positive for m > 1
+        for pts in res.series.values():
+            assert all(y > 0 for x, y in pts if x > 1)
+
+    def test_ext2_migration_monotone(self):
+        res = ALL_EXTENSIONS["ext2"](TINY)
+        mig = dict(res.series["migrated fraction"])
+        ths = sorted(mig)
+        for a, b in zip(ths, ths[1:]):
+            assert mig[b] <= mig[a] + 1e-9
+
+    def test_ext3_auto_dominates_sqrt(self):
+        res = ALL_EXTENSIONS["ext3"](TINY)
+        sqrt_ = dict(res.series["sqrt"])
+        auto = dict(res.series["auto"])
+        for m in sqrt_:
+            assert auto[m] <= sqrt_[m] + 1e-9
+
+    def test_ext4_volume_series(self):
+        res = ALL_EXTENSIONS["ext4"](TINY)
+        assert set(res.series) == {"VOL-UNIFORM", "VOL-JAG-M-HEUR", "VOL-HIER-RB"}

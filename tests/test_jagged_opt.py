@@ -1,0 +1,147 @@
+"""Tests for the optimal jagged algorithms JAG-PQ-OPT and JAG-M-OPT (§3.2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.prefix import PrefixSum2D
+from repro.jagged import (
+    jag_m_heur,
+    jag_m_opt,
+    jag_m_opt_bottleneck,
+    jag_m_opt_dp_bottleneck,
+    jag_pq_heur,
+    jag_pq_opt,
+    jag_pq_opt_bottleneck,
+)
+from repro.oned.bisect import bisect_bottleneck
+
+tiny_matrices = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    elements=st.integers(0, 30),
+)
+
+
+def brute_pq(A, P, Q):
+    """Exhaustive optimal P×Q-way jagged bottleneck (main dim 0)."""
+    n1, n2 = A.shape
+    G = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    G[1:, 1:] = A.cumsum(0).cumsum(1)
+    best = None
+    k = min(P, n1) - 1
+    for bounds in itertools.combinations(range(1, n1), k):
+        bb = [0, *bounds, n1]
+        worst = 0
+        for a, b in zip(bb, bb[1:]):
+            band = G[b, :] - G[a, :]
+            worst = max(worst, bisect_bottleneck(band, Q))
+        best = worst if best is None else min(best, worst)
+    return best
+
+
+def brute_mway(A, m):
+    """Exhaustive optimal m-way jagged bottleneck (main dim 0)."""
+    n1, n2 = A.shape
+    G = np.zeros((n1 + 1, n2 + 1), dtype=np.int64)
+    G[1:, 1:] = A.cumsum(0).cumsum(1)
+    INF = 1 << 60
+    best = None
+    for nstripes in range(1, min(n1, m) + 1):
+        for bounds in itertools.combinations(range(1, n1), nstripes - 1):
+            bb = [0, *bounds, n1]
+            f = [INF] * (m + 1)
+            f[0] = 0
+            for a, b in zip(bb, bb[1:]):
+                band = G[b, :] - G[a, :]
+                g = [INF] * (m + 1)
+                for used in range(m + 1):
+                    if f[used] == INF:
+                        continue
+                    for q in range(1, m - used + 1):
+                        v = max(f[used], bisect_bottleneck(band, q))
+                        if v < g[used + q]:
+                            g[used + q] = v
+                f = g
+            v = min(f[1:])
+            best = v if best is None else min(best, v)
+    return best
+
+
+class TestJagPQOpt:
+    @given(tiny_matrices, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce(self, A, P, Q):
+        pref = PrefixSum2D(A)
+        assert jag_pq_opt_bottleneck(pref, P, Q) == brute_pq(A, P, Q)
+
+    @given(tiny_matrices, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_not_worse_than_heuristic(self, A, m):
+        opt = jag_pq_opt(A, m).max_load(A)
+        heur = jag_pq_heur(A, m).max_load(A)
+        assert opt <= heur
+
+    @given(tiny_matrices, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_achieves_bottleneck(self, A, m):
+        p = jag_pq_opt(A, m, orientation="hor")
+        p.validate()
+        from repro.jagged.common import choose_pq
+
+        P, Q = choose_pq(m, A.shape[0], A.shape[1])
+        assert p.max_load(A) == jag_pq_opt_bottleneck(PrefixSum2D(A), P, Q)
+
+    def test_medium_instance(self, rng):
+        A = rng.integers(1, 100, (40, 40))
+        p = jag_pq_opt(A, 16)
+        p.validate()
+        assert p.max_load(A) <= jag_pq_heur(A, 16).max_load(A)
+
+
+class TestJagMOpt:
+    @given(tiny_matrices, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce(self, A, m):
+        pref = PrefixSum2D(A)
+        assert jag_m_opt_bottleneck(pref, m) == brute_mway(A, m)
+
+    @given(tiny_matrices, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_paper_dp(self, A, m):
+        pref = PrefixSum2D(A)
+        assert jag_m_opt_bottleneck(pref, m) == jag_m_opt_dp_bottleneck(pref, m)
+
+    @given(tiny_matrices, st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_dominance_chain(self, A, m):
+        """OPT(m-way) <= OPT(P×Q-way) <= HEUR(P×Q); OPT(m-way) <= HEUR(m-way)."""
+        mo = jag_m_opt(A, m).max_load(A)
+        assert mo <= jag_pq_opt(A, m).max_load(A)
+        assert mo <= jag_m_heur(A, m).max_load(A)
+
+    @given(tiny_matrices, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_achieves_bottleneck(self, A, m):
+        pref = PrefixSum2D(A)
+        p = jag_m_opt(pref, m, orientation="hor")
+        p.validate()
+        assert p.max_load(pref) == jag_m_opt_bottleneck(pref, m)
+
+    def test_medium_instance_beats_heuristic(self, rng):
+        A = rng.integers(1, 100, (32, 32))
+        m = 25
+        opt = jag_m_opt(A, m)
+        opt.validate()
+        assert opt.max_load(A) <= jag_m_heur(A, m).max_load(A)
+
+    def test_dp_size_guard(self, rng):
+        from repro.core.errors import ParameterError
+
+        A = rng.integers(1, 5, (100, 100))
+        with pytest.raises(ParameterError):
+            jag_m_opt_dp_bottleneck(PrefixSum2D(A), 1000)

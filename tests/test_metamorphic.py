@@ -1,0 +1,102 @@
+"""Metamorphic properties of the exact algorithms.
+
+Transformations with known effect on the optimum: scaling loads scales the
+bottleneck; transposing the matrix transposes jagged orientations; adding a
+constant-load frame changes totals predictably; reversing a 1D array leaves
+the optimal bottleneck unchanged.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.prefix import PrefixSum2D
+from repro.jagged import jag_m_opt_bottleneck, jag_pq_opt_bottleneck
+from repro.oned.bisect import bisect_bottleneck
+from repro.oned.nicol import nicol_plus_bottleneck
+
+from .conftest import load_arrays, prefix_of
+
+tiny_matrices = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+    elements=st.integers(0, 25),
+)
+
+
+class TestOneDMetamorphic:
+    @given(load_arrays, st.integers(1, 8), st.integers(2, 5))
+    @settings(max_examples=50)
+    def test_scaling(self, vals, m, c):
+        """OPT(c·A, m) == c·OPT(A, m)."""
+        assert bisect_bottleneck(prefix_of(vals * c), m) == c * bisect_bottleneck(
+            prefix_of(vals), m
+        )
+
+    @given(load_arrays, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_reversal(self, vals, m):
+        """The interval-partition optimum is reversal-invariant."""
+        assert nicol_plus_bottleneck(prefix_of(vals), m) == nicol_plus_bottleneck(
+            prefix_of(vals[::-1].copy()), m
+        )
+
+    @given(load_arrays, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_concatenating_zeros(self, vals, m):
+        """Appending zero-load cells never changes the optimum."""
+        padded = np.concatenate([vals, np.zeros(3, dtype=np.int64)])
+        assert bisect_bottleneck(prefix_of(padded), m) == bisect_bottleneck(
+            prefix_of(vals), m
+        )
+
+    @given(load_arrays, st.integers(1, 7))
+    @settings(max_examples=50)
+    def test_monotone_in_m(self, vals, m):
+        """More processors never hurt."""
+        P = prefix_of(vals)
+        assert bisect_bottleneck(P, m + 1) <= bisect_bottleneck(P, m)
+
+
+class TestTwoDMetamorphic:
+    @given(tiny_matrices, st.integers(1, 6), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_mway_scaling(self, A, m, c):
+        a = jag_m_opt_bottleneck(PrefixSum2D(A), m)
+        b = jag_m_opt_bottleneck(PrefixSum2D(A * c), m)
+        assert b == c * a
+
+    @given(tiny_matrices, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_pq_column_mirror_invariant(self, A, P, Q):
+        """Mirroring columns maps P×Q-way jagged partitions onto themselves."""
+        a = jag_pq_opt_bottleneck(PrefixSum2D(A), P, Q)
+        b = jag_pq_opt_bottleneck(PrefixSum2D(np.ascontiguousarray(A[:, ::-1])), P, Q)
+        assert a == b
+
+    @given(tiny_matrices, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_pq_ver_equals_hor_on_transpose(self, A, P, Q):
+        """P stripes over A's rows == P stripes over Aᵀ's columns."""
+        a = jag_pq_opt_bottleneck(PrefixSum2D(A), P, Q)
+        b = jag_pq_opt_bottleneck(PrefixSum2D(np.ascontiguousarray(A.T)).transpose(), P, Q)
+        assert a == b
+
+    @given(tiny_matrices, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_mway_monotone_in_m(self, A, m):
+        pref = PrefixSum2D(A)
+        assert jag_m_opt_bottleneck(pref, m + 1) <= jag_m_opt_bottleneck(pref, m)
+
+    @given(tiny_matrices, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_mway_row_permutation_can_only_help_or_hurt_consistently(self, A, m):
+        """Sanity: a row flip (spatial mirror) keeps the m-way optimum.
+
+        Mirroring rows maps every jagged partition to a jagged partition
+        with the same loads, so the optimum is invariant.
+        """
+        pref = PrefixSum2D(A)
+        flipped = PrefixSum2D(np.ascontiguousarray(A[::-1]))
+        assert jag_m_opt_bottleneck(pref, m) == jag_m_opt_bottleneck(flipped, m)

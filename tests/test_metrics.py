@@ -1,0 +1,140 @@
+"""Tests for bounds, communication volume and migration volume."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    communication_volume,
+    load_imbalance,
+    lower_bound,
+    max_boundary,
+    migration_volume,
+    upper_bound,
+)
+from repro.core.partition import Partition
+from repro.core.prefix import PrefixSum2D
+from repro.core.rectangle import Rect
+from repro.rectilinear import rect_uniform
+
+
+def owner_cross_edges(owner: np.ndarray) -> int:
+    """Reference communication volume: count grid edges crossing owners."""
+    horiz = (owner[:, 1:] != owner[:, :-1]).sum()
+    vert = (owner[1:, :] != owner[:-1, :]).sum()
+    return int(horiz + vert)
+
+
+class TestBounds:
+    def test_lower_bound(self):
+        A = np.array([[7, 1], [1, 1]])
+        assert lower_bound(A, 2) == 7  # max element dominates
+        assert lower_bound(A, 1) == 10
+        assert lower_bound(np.array([[3, 3], [3, 3]]), 5) == 3
+
+    def test_upper_bound_ge_lower(self, rng):
+        for _ in range(10):
+            A = rng.integers(0, 20, (5, 5))
+            for m in (1, 3, 7):
+                assert upper_bound(A, m) >= lower_bound(A, m)
+
+    def test_load_imbalance_alias(self, rng):
+        A = rng.integers(1, 9, (4, 4))
+        p = rect_uniform(A, 4)
+        assert load_imbalance(A, p) == p.imbalance(A)
+
+
+class TestCommunication:
+    @pytest.mark.parametrize("m", [1, 4, 6, 9])
+    def test_matches_owner_map(self, rng, m):
+        A = rng.integers(1, 9, (12, 12))
+        p = rect_uniform(A, m)
+        assert communication_volume(p) == owner_cross_edges(p.owner_map())
+
+    def test_single_rect_no_comm(self, rng):
+        A = rng.integers(1, 9, (5, 5))
+        assert communication_volume(rect_uniform(A, 1)) == 0
+        assert max_boundary(rect_uniform(A, 1)) == 0
+
+    def test_max_boundary(self, rng):
+        A = rng.integers(1, 9, (8, 8))
+        p = rect_uniform(A, 4)  # 2x2 grid of 4x4 blocks
+        # each block touches two interior sides of length 4
+        assert max_boundary(p) == 8
+
+    def test_empty_partition(self):
+        assert max_boundary(Partition([], (3, 3))) == 0
+
+
+class TestMigration:
+    def test_identical_partitions_zero(self, rng):
+        A = rng.integers(1, 9, (8, 8))
+        p = rect_uniform(A, 4)
+        assert migration_volume(p, p, A) == 0
+
+    def test_disjoint_swap_full(self, rng):
+        A = rng.integers(1, 9, (4, 4))
+        p1 = Partition([Rect(0, 2, 0, 4), Rect(2, 4, 0, 4)], (4, 4))
+        p2 = Partition([Rect(2, 4, 0, 4), Rect(0, 2, 0, 4)], (4, 4))
+        assert migration_volume(p1, p2, A) == A.sum()
+
+    def test_matches_owner_map_reference(self, rng):
+        A = rng.integers(1, 9, (12, 12))
+        pf = PrefixSum2D(A)
+        p1 = rect_uniform(pf, 4)
+        p2 = rect_uniform(pf, 4, P=4, Q=1)
+        moved_ref = int(A[p1.owner_map() != p2.owner_map()].sum())
+        assert migration_volume(p1, p2, pf) == moved_ref
+
+    def test_shape_mismatch(self, rng):
+        A = rng.integers(1, 9, (4, 4))
+        p1 = rect_uniform(A, 2)
+        p2 = rect_uniform(rng.integers(1, 9, (4, 6)), 2)
+        with pytest.raises(ValueError):
+            migration_volume(p1, p2, A)
+
+
+class TestNeighborCounts:
+    def test_grid_adjacency(self, rng):
+        from repro.core.metrics import neighbor_counts
+
+        A = rng.integers(1, 9, (8, 8))
+        p = rect_uniform(A, 16)  # 4x4 grid
+        counts = neighbor_counts(p)
+        # corners 2, edges 3, interior 4
+        assert sorted(counts.tolist()) == sorted([2] * 4 + [3] * 8 + [4] * 4)
+
+    def test_single_rect_no_neighbors(self, rng):
+        from repro.core.metrics import neighbor_counts
+
+        A = rng.integers(1, 9, (4, 4))
+        assert neighbor_counts(rect_uniform(A, 1)).tolist() == [0]
+
+    def test_empty_rects_have_no_neighbors(self, rng):
+        from repro.core.metrics import neighbor_counts
+        from repro import partition_2d
+
+        A = np.ones((2, 2), dtype=np.int64)
+        p = partition_2d(A, 6, "HIER-RB")  # idle processors present
+        counts = neighbor_counts(p)
+        areas = np.array([r.area for r in p.rects])
+        assert (counts[areas == 0] == 0).all()
+
+    def test_symmetric_relation(self, rng):
+        from repro.core.metrics import neighbor_counts
+        from repro import partition_2d
+
+        A = rng.integers(1, 9, (12, 12))
+        p = partition_2d(A, 7, "JAG-M-HEUR")
+        counts = neighbor_counts(p)
+        # total adjacency degree is even (each pair counted twice)
+        assert counts.sum() % 2 == 0
+
+    def test_latency_term_increases_comm(self, rng):
+        from repro import partition_2d
+        from repro.runtime import BSPSimulator, CostModel
+
+        A = rng.integers(1, 9, (16, 16)).astype(np.int64)
+        jag = lambda pref, m: partition_2d(pref, m, "JAG-M-HEUR")
+        no_lat = BSPSimulator(4, jag, cost=CostModel(latency=0.0)).run([(0, A)])
+        with_lat = BSPSimulator(4, jag, cost=CostModel(latency=1e-3)).run([(0, A)])
+        assert with_lat.comm_time > no_lat.comm_time

@@ -1,0 +1,77 @@
+"""Tests for the striped-cost 1D solver used by RECT-NICOL."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.oned.multicost import multi_bottleneck, multi_cuts, partition_multi, probe_multi
+
+stripe_loads = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 3), st.integers(1, 8)),
+    elements=st.integers(0, 30),
+)
+
+
+def stack_prefix(A):
+    M = np.zeros((A.shape[0], A.shape[1] + 1), dtype=np.int64)
+    M[:, 1:] = np.cumsum(A, axis=1)
+    return M
+
+
+def brute(M, m):
+    n = M.shape[1] - 1
+    best = None
+    for cuts in itertools.combinations(range(1, n), min(m - 1, n - 1)):
+        cc = [0, *cuts, n]
+        v = max(
+            max(int(M[s][b] - M[s][a]) for s in range(M.shape[0]))
+            for a, b in zip(cc, cc[1:])
+        )
+        best = v if best is None else min(best, v)
+    return best if best is not None else int(M[:, -1].max())
+
+
+class TestMultiBottleneck:
+    @given(stripe_loads, st.integers(1, 5))
+    @settings(max_examples=80)
+    def test_matches_bruteforce(self, A, m):
+        M = stack_prefix(A)
+        assert multi_bottleneck(M, m) == brute(M, m)
+
+    @given(stripe_loads, st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_cuts_realize_value(self, A, m):
+        M = stack_prefix(A)
+        B, cuts = partition_multi(M, m)
+        assert cuts[0] == 0 and cuts[-1] == A.shape[1]
+        worst = 0
+        for a, b in zip(cuts, cuts[1:]):
+            worst = max(worst, int((M[:, b] - M[:, a]).max()))
+        assert worst == B
+
+    def test_single_stripe_equals_plain_1d(self, rng):
+        from repro.oned.bisect import bisect_bottleneck
+
+        vals = rng.integers(0, 40, 30)
+        M = stack_prefix(vals[None, :])
+        for m in (1, 3, 8):
+            assert multi_bottleneck(M, m) == bisect_bottleneck(M[0], m)
+
+    def test_probe_multi_monotone_in_b(self, rng):
+        A = rng.integers(0, 20, (3, 12))
+        M = stack_prefix(A)
+        feas = [probe_multi(M, 3, B) for B in range(0, int(A.sum()) + 1, 5)]
+        # once feasible, stays feasible
+        assert feas == sorted(feas)
+
+    def test_multi_cuts_infeasible(self):
+        M = stack_prefix(np.array([[9, 9]]))
+        assert multi_cuts(M, 2, 5) is None
+
+    def test_degenerate_empty(self):
+        M = np.zeros((2, 1), dtype=np.int64)
+        assert multi_bottleneck(M, 3) == 0

@@ -1,0 +1,135 @@
+"""Cross-checks of the four exact 1D algorithms against each other and brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParameterError
+from repro.oned import (
+    ONED_METHODS,
+    bisect_bottleneck,
+    dp_bottleneck,
+    nicol_bottleneck,
+    nicol_plus_bottleneck,
+    partition_1d,
+)
+
+from .conftest import load_arrays, prefix_of
+
+EXACT = ["dp", "bisect", "nicol", "nicolplus"]
+
+
+def brute_bottleneck(vals, m):
+    n = len(vals)
+    k = min(m, n) - 1
+    best = None
+    for cuts in itertools.combinations(range(1, n), k):
+        cc = [0, *cuts, n]
+        v = max(vals[a:b].sum() for a, b in zip(cc, cc[1:]))
+        best = v if best is None else min(best, v)
+    return int(best) if best is not None else int(vals.sum())
+
+
+class TestExactAgreement:
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=9).map(
+            lambda v: np.array(v, dtype=np.int64)
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=80)
+    def test_matches_bruteforce(self, vals, m):
+        P = prefix_of(vals)
+        expected = brute_bottleneck(vals, m)
+        assert dp_bottleneck(P, m) == expected
+        assert bisect_bottleneck(P, m) == expected
+        assert nicol_bottleneck(P, m) == expected
+        assert nicol_plus_bottleneck(P, m) == expected
+
+    @given(load_arrays, st.integers(1, 12))
+    @settings(max_examples=80)
+    def test_all_four_agree(self, vals, m):
+        P = prefix_of(vals)
+        values = {
+            dp_bottleneck(P, m),
+            bisect_bottleneck(P, m),
+            nicol_bottleneck(P, m),
+            nicol_plus_bottleneck(P, m),
+        }
+        assert len(values) == 1
+
+    def test_large_random_agreement(self, rng):
+        vals = rng.integers(1, 1000, 3000)
+        P = prefix_of(vals)
+        for m in (7, 64, 300):
+            b = bisect_bottleneck(P, m)
+            assert nicol_bottleneck(P, m) == b
+            assert nicol_plus_bottleneck(P, m) == b
+
+    def test_zero_heavy_arrays(self):
+        vals = np.array([0, 0, 7, 0, 0, 7, 0])
+        P = prefix_of(vals)
+        for m in (1, 2, 3, 10):
+            b = dp_bottleneck(P, m)
+            assert nicol_bottleneck(P, m) == b
+            assert nicol_plus_bottleneck(P, m) == b
+            assert bisect_bottleneck(P, m) == b
+
+    def test_all_zeros(self):
+        P = prefix_of([0, 0, 0])
+        for name in EXACT:
+            assert partition_1d(np.zeros(3, dtype=np.int64), 2, name).bottleneck == 0
+
+    def test_empty_like_single_cell(self):
+        for name in EXACT:
+            r = partition_1d(np.array([42]), 3, name)
+            assert r.bottleneck == 42
+
+
+class TestPartition1DApi:
+    def test_result_fields(self):
+        vals = np.array([3, 1, 4, 1, 5])
+        r = partition_1d(vals, 2, "nicolplus")
+        assert r.m == 2
+        assert r.method == "nicolplus"
+        P = prefix_of(vals)
+        assert r.loads(P).max() == r.bottleneck
+        assert r.imbalance(P) == pytest.approx(r.bottleneck / (vals.sum() / 2) - 1)
+
+    def test_accepts_prefix_input(self):
+        P = prefix_of([1, 2, 3])
+        r = partition_1d(P, 2, "bisect", is_prefix=True)
+        assert r.bottleneck == 3
+
+    def test_accepts_prefixsum1d(self):
+        from repro.core.prefix import PrefixSum1D
+
+        r = partition_1d(PrefixSum1D(np.array([1, 2, 3])), 2)
+        assert r.bottleneck == 3
+
+    def test_method_normalization(self):
+        vals = np.array([1, 2, 3])
+        assert partition_1d(vals, 2, "Nicol-Plus").method == "nicolplus"
+
+    def test_unknown_method(self):
+        with pytest.raises(ParameterError):
+            partition_1d(np.array([1]), 1, "magic")
+
+    def test_nonpositive_m(self):
+        with pytest.raises(ParameterError):
+            partition_1d(np.array([1]), 0)
+
+    def test_registry_complete(self):
+        for name in ("dc", "dc2", "rb", "dp", "bisect", "nicol", "nicolplus"):
+            assert name in ONED_METHODS
+
+    @given(load_arrays, st.integers(1, 9), st.sampled_from(EXACT))
+    @settings(max_examples=40)
+    def test_exact_methods_cuts_achieve_bottleneck(self, vals, m, name):
+        r = partition_1d(vals, m, name)
+        P = prefix_of(vals)
+        assert r.loads(P).max(initial=0) == r.bottleneck
+        assert r.cuts[0] == 0 and r.cuts[-1] == len(vals)

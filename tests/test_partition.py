@@ -1,0 +1,126 @@
+"""Unit tests for the Partition container and its validity test (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidPartitionError, ParameterError
+from repro.core.partition import Partition
+from repro.core.prefix import PrefixSum2D
+from repro.core.rectangle import Rect
+
+
+def three_way(shape=(6, 8)):
+    n1, n2 = shape
+    return Partition(
+        [Rect(0, n1, 0, 3), Rect(0, 2, 3, n2), Rect(2, n1, 3, n2)], shape
+    )
+
+
+class TestValidity:
+    def test_valid_partition(self):
+        three_way().validate()
+        assert three_way().is_valid()
+
+    @pytest.mark.parametrize("method", ["paint", "pairwise"])
+    def test_overlap_detected(self, method):
+        p = Partition([Rect(0, 6, 0, 4), Rect(0, 6, 3, 8), Rect(0, 0, 0, 0)], (6, 8))
+        with pytest.raises(InvalidPartitionError):
+            p.validate(method=method)
+
+    @pytest.mark.parametrize("method", ["paint", "pairwise"])
+    def test_gap_detected(self, method):
+        p = Partition([Rect(0, 6, 0, 4), Rect(0, 5, 4, 8)], (6, 8))
+        with pytest.raises(InvalidPartitionError):
+            p.validate(method=method)
+
+    def test_out_of_bounds_detected(self):
+        p = Partition([Rect(0, 7, 0, 8)], (6, 8))
+        with pytest.raises(InvalidPartitionError):
+            p.validate()
+
+    def test_empty_rects_ignored(self):
+        p = Partition([Rect(0, 6, 0, 8), Rect(0, 0, 0, 0), Rect(3, 3, 1, 5)], (6, 8))
+        p.validate()
+
+    def test_no_rects(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition([], (3, 3)).validate()
+
+    def test_unknown_method(self):
+        with pytest.raises(ParameterError):
+            three_way().validate(method="nope")
+
+    def test_pairwise_chunking(self, rng):
+        # many thin valid stripes exercise the chunked pairwise path
+        n = 700
+        rects = [Rect(i, i + 1, 0, 4) for i in range(n)]
+        Partition(rects, (n, 4))._validate_pairwise(
+            np.array([(r.r0, r.r1, r.c0, r.c1) for r in rects]), chunk=128
+        )
+
+
+class TestLoadsAndOwnership:
+    def test_loads(self, rng):
+        A = rng.integers(0, 30, (6, 8))
+        p = three_way()
+        pf = PrefixSum2D(A)
+        expected = [
+            A[0:6, 0:3].sum(),
+            A[0:2, 3:8].sum(),
+            A[2:6, 3:8].sum(),
+        ]
+        np.testing.assert_array_equal(p.loads(pf), expected)
+        assert p.max_load(A) == max(expected)
+        assert p.imbalance(A) == pytest.approx(max(expected) / (A.sum() / 3) - 1)
+
+    def test_owner_map_and_owner_of_agree(self, rng):
+        p = three_way()
+        owner = p.owner_map()
+        for i in range(6):
+            for j in range(8):
+                assert p.owner_of(i, j) == owner[i, j]
+
+    def test_owner_of_out_of_range(self):
+        with pytest.raises(ParameterError):
+            three_way().owner_of(6, 0)
+
+    def test_owner_of_uncovered(self):
+        p = Partition([Rect(0, 1, 0, 1)], (2, 2))
+        with pytest.raises(InvalidPartitionError):
+            p.owner_of(1, 1)
+
+    def test_indexer_used(self):
+        calls = []
+
+        def fake(i, j):
+            calls.append((i, j))
+            return 0
+
+        p = Partition([Rect(0, 2, 0, 2)], (2, 2), indexer=fake)
+        assert p.owner_of(1, 1) == 0
+        assert calls == [(1, 1)]
+
+    def test_container_protocol(self):
+        p = three_way()
+        assert p.m == len(p) == 3
+        assert list(iter(p))[0] == p[0]
+        assert "Partition" in repr(p) or p.method in repr(p)
+
+    def test_transpose(self, rng):
+        A = rng.integers(0, 30, (6, 8))
+        p = three_way()
+        pt = p.transpose()
+        assert pt.shape == (8, 6)
+        pt.validate()
+        np.testing.assert_array_equal(
+            np.sort(pt.loads(PrefixSum2D(A.T))), np.sort(p.loads(PrefixSum2D(A)))
+        )
+        # indexer transposes too
+        assert pt.owner_of(7, 0) == p.owner_of(0, 7)
+
+    def test_with_method(self):
+        assert three_way().with_method("X").method == "X"
+
+    def test_zero_total_imbalance(self):
+        A = np.zeros((6, 8), dtype=np.int64)
+        assert three_way().imbalance(A) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the exact rectilinear oracle and the Figure 1 class hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import ParameterError
+from repro.core.prefix import PrefixSum2D
+from repro.jagged import jag_pq_opt_bottleneck
+from repro.rectilinear import rect_nicol, rect_opt, rect_opt_bottleneck, rect_uniform
+
+tiny = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 7), st.integers(2, 7)),
+    elements=st.integers(0, 30),
+)
+
+
+class TestRectOpt:
+    @given(tiny, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_achieves_value(self, A, P, Q):
+        pref = PrefixSum2D(A)
+        part = rect_opt(pref, P * Q, P=P, Q=Q)
+        part.validate()
+        assert part.max_load(pref) == rect_opt_bottleneck(pref, P, Q)
+
+    @given(tiny, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_heuristics_never_beat_oracle(self, A, P, Q):
+        pref = PrefixSum2D(A)
+        b = rect_opt_bottleneck(pref, P, Q)
+        assert rect_nicol(pref, P * Q, P=P, Q=Q).max_load(pref) >= b
+        assert rect_uniform(pref, P * Q, P=P, Q=Q).max_load(pref) >= b
+
+    @given(tiny, st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_class_hierarchy_vs_jagged(self, A, P, Q):
+        """Figure 1: rectilinear ⊂ P×Q jagged ⇒ OPT_rect >= OPT_jagged."""
+        pref = PrefixSum2D(A)
+        assert rect_opt_bottleneck(pref, P, Q) >= jag_pq_opt_bottleneck(pref, P, Q)
+
+    def test_size_guard(self, rng):
+        A = rng.integers(1, 5, (64, 64))
+        with pytest.raises(ParameterError):
+            rect_opt_bottleneck(A, 8, 8, limit=100)
+
+    def test_rect_nicol_quality_vs_oracle(self, rng):
+        """RECT-NICOL's local refinement lands close to the true optimum."""
+        ratios = []
+        for seed in range(8):
+            A = np.random.default_rng(seed).integers(1, 100, (12, 12))
+            pref = PrefixSum2D(A)
+            opt = rect_opt_bottleneck(pref, 3, 3)
+            heur = rect_nicol(pref, 9, P=3, Q=3).max_load(pref)
+            ratios.append(heur / opt)
+        assert np.mean(ratios) < 1.25  # within 25% of optimal on average
+
+    def test_pq_mismatch(self, rng):
+        with pytest.raises(ParameterError):
+            rect_opt(rng.integers(1, 5, (4, 4)), 4, P=3, Q=2)

@@ -1,0 +1,111 @@
+"""Unit + property tests for the Rect geometry type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rectangle import Rect
+
+rects = st.builds(
+    lambda r0, h, c0, w: Rect(r0, r0 + h, c0, c0 + w),
+    st.integers(0, 10),
+    st.integers(0, 8),
+    st.integers(0, 10),
+    st.integers(0, 8),
+)
+
+
+class TestRectBasics:
+    def test_dimensions(self):
+        r = Rect(1, 4, 2, 7)
+        assert r.height == 3
+        assert r.width == 5
+        assert r.area == 15
+        assert not r.is_empty
+
+    def test_empty(self):
+        assert Rect(2, 2, 0, 5).is_empty
+        assert Rect(0, 5, 3, 3).is_empty
+        assert Rect(0, 0, 0, 0).area == 0
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(3, 1, 0, 2)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 5, 2)
+
+    def test_contains(self):
+        r = Rect(1, 3, 1, 3)
+        assert r.contains(1, 1)
+        assert r.contains(2, 2)
+        assert not r.contains(3, 1)  # half-open
+        assert not r.contains(0, 1)
+
+    def test_inclusive_conversion(self):
+        assert Rect(1, 4, 2, 7).to_inclusive() == (1, 3, 2, 6)
+        with pytest.raises(ValueError):
+            Rect(1, 1, 0, 2).to_inclusive()
+
+    def test_transpose(self):
+        assert Rect(1, 2, 3, 4).transpose() == Rect(3, 4, 1, 2)
+
+    def test_shift(self):
+        assert Rect(0, 2, 0, 3).shift(1, 2) == Rect(1, 3, 2, 5)
+
+    def test_cells(self):
+        cells = list(Rect(0, 2, 1, 3).cells())
+        assert cells == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a = Rect(0, 4, 0, 4)
+        b = Rect(2, 6, 2, 6)
+        assert a.overlaps(b)
+        assert a.intersect(b) == Rect(2, 4, 2, 4)
+
+    def test_disjoint(self):
+        a = Rect(0, 2, 0, 2)
+        b = Rect(2, 4, 0, 2)  # touching edge, half-open: disjoint
+        assert not a.overlaps(b)
+        assert a.intersect(b) is None
+
+    @given(rects, rects)
+    @settings(max_examples=60)
+    def test_intersect_symmetric(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(rects, rects)
+    @settings(max_examples=60)
+    def test_intersect_matches_cells(self, a, b):
+        inter = a.intersect(b)
+        shared = set(a.cells()) & set(b.cells())
+        if inter is None:
+            assert not shared
+        else:
+            assert set(inter.cells()) == shared
+
+    @given(rects)
+    @settings(max_examples=30)
+    def test_self_intersection(self, r):
+        if r.is_empty:
+            assert r.intersect(r) is None
+        else:
+            assert r.intersect(r) == r
+
+
+class TestBoundary:
+    def test_interior_rect(self):
+        # 2x3 rectangle fully interior of a 10x10 grid: full perimeter
+        assert Rect(4, 6, 4, 7).boundary_length(10, 10) == 2 * 3 + 2 * 2
+
+    def test_corner_rect(self):
+        # top-left corner: only right and bottom sides count
+        assert Rect(0, 2, 0, 3).boundary_length(10, 10) == 3 + 2
+
+    def test_full_grid(self):
+        assert Rect(0, 10, 0, 10).boundary_length(10, 10) == 0
+
+    def test_empty(self):
+        assert Rect(3, 3, 0, 5).boundary_length(10, 10) == 0

@@ -1,0 +1,79 @@
+"""Tests for the algorithm registry and the partition_2d entry point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ALGORITHMS, algorithm_names, lower_bound, partition_2d
+from repro.core.errors import ParameterError
+
+from .conftest import load_matrices
+
+FAST_NAMES = [
+    "RECT-UNIFORM",
+    "RECT-NICOL",
+    "JAG-PQ-HEUR",
+    "JAG-M-HEUR",
+    "HIER-RB",
+    "HIER-RELAXED",
+]
+
+
+class TestRegistry:
+    def test_paper_names_present(self):
+        for name in FAST_NAMES + ["JAG-PQ-OPT", "JAG-M-OPT", "HIER-OPT"]:
+            assert name in ALGORITHMS
+
+    def test_variant_names_present(self):
+        assert "JAG-M-HEUR-BEST" in ALGORITHMS
+        assert "JAG-PQ-OPT-VER" in ALGORITHMS
+        assert "HIER-RB-DIST" in ALGORITHMS
+        assert "HIER-RELAXED-LOAD" in ALGORITHMS
+
+    def test_algorithm_names_listing(self):
+        names = algorithm_names()
+        assert "JAG-M-OPT" in names and "HIER-OPT" in names
+        fast = algorithm_names(heuristics_only=True)
+        assert "JAG-M-OPT" not in fast and set(FAST_NAMES) == set(fast)
+
+    def test_unknown_raises(self, rng):
+        with pytest.raises(ParameterError):
+            partition_2d(rng.integers(1, 5, (4, 4)), 2, "MAGIC")
+
+    def test_case_insensitive(self, rng):
+        A = rng.integers(1, 5, (6, 6))
+        p = partition_2d(A, 4, "jag-m-heur")
+        assert p.m == 4
+
+    def test_kwargs_forwarded(self, rng):
+        A = rng.integers(1, 5, (12, 12))
+        p = partition_2d(A, 6, "JAG-M-HEUR-HOR", num_stripes=2)
+        assert len(p.meta["stripe_cuts"]) == 3
+
+    def test_hier_variant_dispatch(self, rng):
+        A = rng.integers(1, 5, (8, 8))
+        p = partition_2d(A, 4, "HIER-RB-HOR")
+        assert p.method == "HIER-RB-HOR"
+
+
+class TestAllAlgorithmsContract:
+    @given(A=load_matrices, m=st.integers(1, 8), name=st.sampled_from(FAST_NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_and_bounded(self, A, m, name):
+        """Every algorithm returns a valid m-partition respecting the LB."""
+        p = partition_2d(A, m, name)
+        assert p.m == m
+        p.validate()
+        assert p.max_load(A) >= lower_bound(A, m) - (1 if A.sum() == 0 else 0)
+
+    @given(A=load_matrices, m=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_algorithms_dominate(self, A, m):
+        """Class inclusions: LB <= M-OPT <= PQ-OPT <= PQ-HEUR (same best orientation)."""
+        lb = lower_bound(A, m)
+        mo = partition_2d(A, m, "JAG-M-OPT").max_load(A)
+        po = partition_2d(A, m, "JAG-PQ-OPT").max_load(A)
+        ph = partition_2d(A, m, "JAG-PQ-HEUR").max_load(A)
+        assert lb <= mo + (1 if A.sum() == 0 else 0)
+        assert mo <= po <= ph

@@ -1,0 +1,58 @@
+"""Tests for the partition renderers (ASCII, PPM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.render import ascii_render, save_ppm
+from repro.rectilinear import rect_uniform
+
+
+class TestAsciiRender:
+    def test_structure_visible(self, rng):
+        A = rng.integers(1, 9, (8, 8))
+        p = rect_uniform(A, 4)  # 2x2 grid
+        art = ascii_render(p)
+        lines = art.splitlines()
+        assert len(lines) == 8 and all(len(l) == 8 for l in lines)
+        # four distinct quadrant glyphs
+        assert lines[0][0] != lines[0][-1]
+        assert lines[0][0] != lines[-1][0]
+
+    def test_downsampling(self, rng):
+        A = rng.integers(1, 9, (200, 300))
+        p = rect_uniform(A, 6)
+        art = ascii_render(p, max_width=30, max_height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10 and all(len(l) == 30 for l in lines)
+
+    def test_validation(self, rng):
+        p = rect_uniform(rng.integers(1, 9, (4, 4)), 2)
+        with pytest.raises(ParameterError):
+            ascii_render(p, max_width=0)
+
+
+class TestPpm:
+    def test_writes_valid_header_and_size(self, tmp_path, rng):
+        A = rng.integers(1, 9, (16, 24))
+        p = rect_uniform(A, 6)
+        path = save_ppm(p, tmp_path / "part.ppm", A=A, scale=2)
+        data = path.read_bytes()
+        assert data.startswith(b"P6 48 32 255\n")
+        assert len(data) == len(b"P6 48 32 255\n") + 48 * 32 * 3
+
+    def test_without_load_shading(self, tmp_path, rng):
+        A = rng.integers(1, 9, (8, 8))
+        p = rect_uniform(A, 4)
+        path = save_ppm(p, tmp_path / "plain.ppm")
+        assert path.exists()
+
+    def test_scale_validation(self, tmp_path, rng):
+        p = rect_uniform(rng.integers(1, 9, (4, 4)), 2)
+        with pytest.raises(ParameterError):
+            save_ppm(p, tmp_path / "x.ppm", scale=0)
+
+    def test_uniform_load_shading(self, tmp_path):
+        A = np.full((8, 8), 7, dtype=np.int64)
+        p = rect_uniform(A, 4)
+        save_ppm(p, tmp_path / "flat.ppm", A=A)  # hi == lo branch

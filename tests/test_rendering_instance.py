@@ -1,0 +1,46 @@
+"""Tests for the image-rendering workload generator."""
+
+import numpy as np
+import pytest
+
+from repro import partition_2d
+from repro.core.errors import ParameterError
+from repro.instances import render_scene
+
+
+class TestRenderScene:
+    def test_shape_and_positivity(self):
+        A = render_scene(48, seed=1)
+        assert A.shape == (48, 48)
+        assert A.dtype == np.int64
+        assert A.min() >= 1
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(render_scene(32, seed=7), render_scene(32, seed=7))
+        assert not np.array_equal(render_scene(32, seed=7), render_scene(32, seed=8))
+
+    def test_empty_scene_is_base_cost(self):
+        A = render_scene(16, objects=0, base_cost=5)
+        assert (A == 5).all()
+
+    def test_clustering_concentrates_load(self):
+        clustered = render_scene(64, cluster=1.0, seed=3)
+        spread = render_scene(64, cluster=0.0, seed=3)
+        # clustered scenes have heavier hot spots relative to their mean
+        assert clustered.max() / clustered.mean() > spread.max() / spread.mean()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            render_scene(0)
+        with pytest.raises(ParameterError):
+            render_scene(16, cluster=1.5)
+
+    def test_partitioning_pipeline(self):
+        """The intro's use case: tile the screen to balance shading cost."""
+        A = render_scene(96, seed=2)
+        uni = partition_2d(A, 16, "RECT-UNIFORM").imbalance(A)
+        jag = partition_2d(A, 16, "JAG-M-HEUR").imbalance(A)
+        hier = partition_2d(A, 16, "HIER-RELAXED").imbalance(A)
+        assert jag < uni and hier < uni
+        for name in ("JAG-M-HEUR", "HIER-RELAXED"):
+            partition_2d(A, 16, name).validate()

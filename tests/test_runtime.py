@@ -1,0 +1,94 @@
+"""Tests for the BSP execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro import partition_2d
+from repro.core.prefix import PrefixSum2D
+from repro.runtime import BSPSimulator, CostModel, SimulationReport
+
+
+def snapshots(n=16, steps=4, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.integers(100, 200, (n, n))
+    out = []
+    for k in range(steps):
+        drift = rng.integers(0, 20, (n, n))
+        out.append((k * 500, (base + k * drift).astype(np.int64)))
+    return out
+
+
+def jag(pref, m):
+    return partition_2d(pref, m, "JAG-M-HEUR")
+
+
+class TestAccounting:
+    def test_report_totals_are_sums(self):
+        sim = BSPSimulator(4, jag)
+        rep = sim.run(snapshots())
+        assert rep.total_time == pytest.approx(
+            rep.compute_time + rep.comm_time + rep.migration_time
+        )
+        assert len(rep.steps) == 4
+        assert rep.total_time == pytest.approx(sum(s.total_time for s in rep.steps))
+
+    def test_first_step_never_migrates(self):
+        rep = BSPSimulator(4, jag).run(snapshots())
+        assert rep.steps[0].migration_time == 0.0
+        assert rep.steps[0].repartitioned
+
+    def test_static_strategy_no_migration(self):
+        rep = BSPSimulator(4, jag, repartition_every=0).run(snapshots())
+        assert rep.migration_time == 0.0
+        assert [s.repartitioned for s in rep.steps] == [True, False, False, False]
+
+    def test_periodic_repartitioning(self):
+        rep = BSPSimulator(4, jag, repartition_every=2).run(snapshots())
+        assert [s.repartitioned for s in rep.steps] == [True, False, True, False]
+
+    def test_compute_time_scales_with_alpha(self):
+        snaps = snapshots()
+        r1 = BSPSimulator(4, jag, cost=CostModel(alpha=1e-6, beta=0, gamma=0)).run(snaps)
+        r2 = BSPSimulator(4, jag, cost=CostModel(alpha=2e-6, beta=0, gamma=0)).run(snaps)
+        assert r2.compute_time == pytest.approx(2 * r1.compute_time)
+
+    def test_steps_per_snapshot_multiplies_comp_and_comm(self):
+        snaps = snapshots()
+        r1 = BSPSimulator(4, jag).run(snaps)
+        r3 = BSPSimulator(4, jag).run(snaps, steps_per_snapshot=3)
+        assert r3.compute_time == pytest.approx(3 * r1.compute_time)
+        assert r3.comm_time == pytest.approx(3 * r1.comm_time)
+        assert r3.migration_time == pytest.approx(r1.migration_time)
+
+    def test_imbalance_recorded(self):
+        rep = BSPSimulator(4, jag).run(snapshots())
+        for s in rep.steps:
+            assert s.imbalance >= 0
+        assert rep.mean_imbalance == pytest.approx(
+            np.mean([s.imbalance for s in rep.steps])
+        )
+
+    def test_static_worse_than_dynamic_on_drifting_load(self):
+        """Repartitioning pays off when the load drifts (the paper's motivation)."""
+        rng = np.random.default_rng(2)
+        n = 32
+        snaps = []
+        for k in range(6):
+            A = np.ones((n, n), dtype=np.int64)
+            c = 4 + 4 * k  # peak moving across the domain
+            A[:, max(0, c - 4) : c + 4] = 500
+            snaps.append((k * 500, A))
+        cost = CostModel(alpha=1e-6, beta=0.0, gamma=0.0)  # isolate imbalance
+        static = BSPSimulator(8, jag, cost=cost, repartition_every=0).run(snaps)
+        dynamic = BSPSimulator(8, jag, cost=cost, repartition_every=1).run(snaps)
+        assert dynamic.compute_time < static.compute_time
+
+    def test_summary_string(self):
+        rep = BSPSimulator(2, jag).run(snapshots(steps=2))
+        s = rep.summary()
+        assert "steps=2" in s and "mean_imb" in s
+
+    def test_empty_report(self):
+        rep = SimulationReport()
+        assert rep.total_time == 0.0
+        assert rep.mean_imbalance == 0.0

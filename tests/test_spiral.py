@@ -1,0 +1,94 @@
+"""Tests for spiral partitions (the §3.4 general recursive scheme)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import ParameterError
+from repro.spiral import spiral_opt, spiral_opt_bottleneck, spiral_relaxed
+
+tiny_matrices = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+    elements=st.integers(0, 30),
+)
+
+
+class TestSpiralRelaxed:
+    @given(tiny_matrices, st.integers(1, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_valid(self, A, m):
+        p = spiral_relaxed(A, m)
+        assert p.m == m
+        p.validate()
+        assert p.method == "SPIRAL-RELAXED"
+
+    def test_spiral_structure(self, rng):
+        """Strips are peeled from rotating sides: first strips touch the
+        top, right, bottom and left borders in order."""
+        A = rng.integers(1, 9, (16, 16))
+        p = spiral_relaxed(A, 6)
+        r0, r1, r2, r3 = p.rects[:4]
+        assert r0.r0 == 0  # top strip
+        assert r1.c1 == 16  # right strip
+        assert r2.r1 == 16  # bottom strip
+        assert r3.c0 == 0  # left strip
+
+    def test_start_side(self, rng):
+        A = rng.integers(1, 9, (12, 12))
+        p = spiral_relaxed(A, 4, start_side="left")
+        assert p.rects[0].c0 == 0 and p.rects[0].r0 == 0 and p.rects[0].r1 == 12
+        with pytest.raises(ParameterError):
+            spiral_relaxed(A, 4, start_side="around")
+
+    def test_single_processor(self, rng):
+        A = rng.integers(1, 9, (5, 5))
+        p = spiral_relaxed(A, 1)
+        assert p.max_load(A) == A.sum()
+
+    def test_more_processors_than_cells(self):
+        A = np.ones((2, 2), dtype=np.int64)
+        p = spiral_relaxed(A, 7)
+        p.validate()
+        assert p.m == 7
+
+    def test_reasonable_balance_on_uniform(self):
+        A = np.full((64, 64), 10, dtype=np.int64)
+        p = spiral_relaxed(A, 8)
+        assert p.imbalance(A) < 0.25
+
+    def test_nonpositive_m(self, rng):
+        with pytest.raises(ParameterError):
+            spiral_relaxed(rng.integers(1, 5, (4, 4)), 0)
+
+
+class TestSpiralOpt:
+    @given(tiny_matrices, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_achieves_dp_value(self, A, m):
+        p = spiral_opt(A, m)
+        p.validate()
+        assert p.max_load(A) == spiral_opt_bottleneck(A, m)
+
+    @given(tiny_matrices, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_opt_never_worse_than_relaxed(self, A, m):
+        assert spiral_opt_bottleneck(A, m) <= spiral_relaxed(A, m).max_load(A)
+
+    @given(tiny_matrices, st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_respects_lower_bound(self, A, m):
+        from repro.core.metrics import lower_bound
+
+        assert spiral_opt_bottleneck(A, m) >= lower_bound(A, m) or A.sum() == 0
+
+    def test_size_guard(self, rng):
+        A = rng.integers(1, 5, (64, 64))
+        with pytest.raises(ParameterError):
+            spiral_opt_bottleneck(A, 16, limit=1000)
+
+    def test_single_processor_exact(self, rng):
+        A = rng.integers(1, 9, (4, 4))
+        assert spiral_opt_bottleneck(A, 1) == A.sum()

@@ -1,0 +1,67 @@
+"""Tests for the JAG-M-HEUR stripe-count policies (sqrt / theorem4 / auto)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.prefix import PrefixSum2D
+from repro.instances import peak, slac_instance, uniform
+from repro.jagged import jag_m_heur
+from repro.jagged.m_heur import _stripe_candidates
+
+
+class TestCandidates:
+    def test_int_passthrough(self, rng):
+        pref = PrefixSum2D(rng.integers(1, 9, (32, 32)))
+        assert _stripe_candidates(pref, 16, 5) == [5]
+
+    def test_sqrt_default(self, rng):
+        pref = PrefixSum2D(rng.integers(1, 9, (100, 100)))
+        assert _stripe_candidates(pref, 100, "sqrt") == [10]
+
+    def test_theorem4_uses_delta(self):
+        pref = PrefixSum2D(uniform(64, 1.2, seed=0))
+        (p4,) = _stripe_candidates(pref, 36, "theorem4")
+        from repro.theory.bounds import delta_of, theorem4_best_p
+
+        expected = int(round(theorem4_best_p(delta_of(pref), 36, 64)))
+        assert p4 == max(1, min(expected, 64, 36))
+
+    def test_theorem4_falls_back_on_zeros(self):
+        pref = PrefixSum2D(slac_instance(64))
+        assert _stripe_candidates(pref, 36, "theorem4") == [6]  # sqrt fallback
+
+    def test_auto_contains_sqrt(self, rng):
+        pref = PrefixSum2D(rng.integers(1, 9, (64, 64)))
+        cands = _stripe_candidates(pref, 64, "auto")
+        assert 8 in cands and len(cands) >= 3
+        assert all(1 <= c <= 64 for c in cands)
+
+    def test_unknown_policy(self, rng):
+        pref = PrefixSum2D(rng.integers(1, 9, (8, 8)))
+        with pytest.raises(ParameterError):
+            _stripe_candidates(pref, 4, "magic")
+
+
+class TestPolicies:
+    def test_auto_never_worse_than_sqrt(self):
+        for seed in range(4):
+            A = peak(96, seed=seed)
+            pref = PrefixSum2D(A)
+            for m in (16, 64, 100):
+                base = jag_m_heur(pref, m, num_stripes="sqrt").max_load(pref)
+                auto = jag_m_heur(pref, m, num_stripes="auto").max_load(pref)
+                assert auto <= base
+
+    def test_policies_valid(self, rng):
+        A = rng.integers(1, 50, (40, 40))
+        for policy in ("sqrt", "theorem4", "auto", 3):
+            p = jag_m_heur(A, 12, num_stripes=policy)
+            p.validate()
+            assert p.m == 12
+
+    def test_policies_on_sparse(self):
+        A = slac_instance(96)
+        for policy in ("theorem4", "auto"):
+            p = jag_m_heur(A, 25, num_stripes=policy)
+            p.validate()

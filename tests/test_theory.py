@@ -1,0 +1,92 @@
+"""Tests for the worst-case analysis module (Lemma 1, Theorems 1–4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.instances import slac_instance, uniform
+from repro.theory.bounds import (
+    delta_of,
+    lemma1_dc_bound,
+    theorem1_ratio,
+    theorem2_best_p,
+    theorem3_ratio,
+    theorem4_best_p,
+)
+
+
+class TestDelta:
+    def test_uniform_band(self):
+        A = uniform(32, 1.5, seed=0)
+        assert 1.0 <= delta_of(A) <= 1.5
+
+    def test_zeros_rejected(self):
+        A = np.array([[0, 1], [2, 3]])
+        with pytest.raises(ParameterError):
+            delta_of(A)
+
+    def test_slac_undefined(self):
+        # "the matrix contains zeroes, therefore Δ is undefined" (§4.1)
+        with pytest.raises(ParameterError):
+            delta_of(slac_instance(64))
+
+    def test_accepts_prefix(self):
+        from repro.core.prefix import PrefixSum2D
+
+        A = np.array([[2, 4], [8, 2]])
+        assert delta_of(PrefixSum2D(A)) == 4.0
+
+
+class TestFormulas:
+    def test_theorem1_value(self):
+        # ratio = (1 + Δ P/n1)(1 + Δ Q/n2)
+        assert theorem1_ratio(2.0, 10, 20, 100, 100) == pytest.approx(1.2 * 1.4)
+
+    def test_theorem1_domain(self):
+        with pytest.raises(ParameterError):
+            theorem1_ratio(2.0, 100, 10, 100, 100)
+        with pytest.raises(ParameterError):
+            theorem1_ratio(0.5, 1, 1, 10, 10)
+
+    def test_theorem2_minimizes_theorem1(self):
+        """P* = sqrt(m n1/n2) minimizes the Theorem 1 ratio over real P."""
+        m, n1, n2, delta = 400, 300, 200, 1.7
+        p_star = theorem2_best_p(m, n1, n2)
+        f = lambda P: (1 + delta * P / n1) * (1 + delta * (m / P) / n2)
+        for p in (p_star / 2, p_star * 0.9, p_star * 1.1, p_star * 2):
+            assert f(p_star) <= f(p) + 1e-9
+
+    def test_theorem3_value(self):
+        got = theorem3_ratio(1.0, 5, 100, 50, 50)
+        expected = (100 / 95) * (1 + 1 / 50) + (100 / (5 * 50)) * (1 + 5 / 50)
+        assert got == pytest.approx(expected)
+
+    def test_theorem3_domain(self):
+        with pytest.raises(ParameterError):
+            theorem3_ratio(1.2, 50, 100, 50, 50)  # P >= n1
+        with pytest.raises(ParameterError):
+            theorem3_ratio(1.2, 100, 100, 500, 50)  # P >= m
+
+    def test_theorem4_minimizes_theorem3(self):
+        """P* from Theorem 4 minimizes the Theorem 3 ratio over real P."""
+        delta, m, n2 = 1.5, 900, 400
+        n1 = 10**9  # Theorem 4's P* is independent of n1; avoid domain edges
+        p_star = theorem4_best_p(delta, m, n2)
+        f = lambda P: (m / (m - P)) * (1 + delta / n2) + (delta * m / (P * n2)) * (
+            1 + delta * P / n1
+        )
+        for p in (p_star / 3, p_star * 0.8, p_star * 1.25, p_star * 3):
+            if 0 < p < m:
+                assert f(p_star) <= f(p) + 1e-9
+
+    def test_theorem4_linear_in_m(self):
+        assert theorem4_best_p(1.3, 2000, 512) == pytest.approx(
+            2 * theorem4_best_p(1.3, 1000, 512)
+        )
+
+    def test_lemma1_value(self):
+        assert lemma1_dc_bound(1000, 10, 100, 2.0) == pytest.approx(100 * 1.2)
+
+    def test_lemma1_domain(self):
+        with pytest.raises(ParameterError):
+            lemma1_dc_bound(10, 0, 5, 1.5)

@@ -1,0 +1,216 @@
+"""Tests for the 3D rectangular-volume extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import InvalidPartitionError, ParameterError
+from repro.volume import (
+    Box,
+    Partition3D,
+    PrefixSum3D,
+    as_load_volume,
+    choose_pqr,
+    vol_hier_rb,
+    vol_jag_m_heur,
+    vol_uniform,
+)
+
+tiny_volumes = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)),
+    elements=st.integers(0, 20),
+)
+
+
+class TestPrefix3D:
+    def test_box_loads(self, rng):
+        A = rng.integers(0, 20, (5, 6, 7))
+        pf = PrefixSum3D(A)
+        assert pf.total == A.sum()
+        assert pf.shape == (5, 6, 7)
+        for _ in range(25):
+            a0, a1 = sorted(rng.integers(0, 6, 2))
+            b0, b1 = sorted(rng.integers(0, 7, 2))
+            c0, c1 = sorted(rng.integers(0, 8, 2))
+            assert pf.load(a0, a1, b0, b1, c0, c1) == A[a0:a1, b0:b1, c0:c1].sum()
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_axis_prefix(self, rng, axis):
+        A = rng.integers(0, 20, (4, 5, 6))
+        pf = PrefixSum3D(A)
+        others = [d for d in range(3) if d != axis]
+        win = [(1, A.shape[others[0]] - 1), (0, A.shape[others[1]])]
+        p = pf.axis_prefix(axis, win[0][0], win[0][1], win[1][0], win[1][1])
+        sl = [slice(None)] * 3
+        sl[others[0]] = slice(win[0][0], win[0][1])
+        sl[others[1]] = slice(win[1][0], win[1][1])
+        np.testing.assert_array_equal(np.diff(p), A[tuple(sl)].sum(axis=tuple(others)))
+
+    def test_axis_prefix_bad_axis(self, rng):
+        pf = PrefixSum3D(rng.integers(0, 5, (3, 3, 3)))
+        with pytest.raises(ParameterError):
+            pf.axis_prefix(3, 0, 1, 0, 1)
+
+    def test_slab_matrix_is_2d_prefix(self, rng):
+        from repro.core.prefix import PrefixSum2D
+
+        A = rng.integers(0, 20, (6, 5, 4))
+        pf = PrefixSum3D(A)
+        M = pf.slab_matrix(0, 2, 5)
+        p2 = PrefixSum2D(M, is_prefix=True)
+        assert p2.total == A[2:5].sum()
+        assert p2.load(1, 4, 0, 2) == A[2:5, 1:4, 0:2].sum()
+
+    def test_max_element(self, rng):
+        A = rng.integers(0, 20, (4, 4, 4))
+        assert PrefixSum3D(A).max_element() == A.max()
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ParameterError):
+            as_load_volume(rng.integers(0, 5, (3, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            as_load_volume(np.full((2, 2, 2), -1))
+
+
+class TestBox:
+    def test_geometry(self):
+        b = Box(0, 2, 1, 4, 2, 5)
+        assert b.extents == (2, 3, 3)
+        assert b.volume == 18
+        assert not b.is_empty
+        assert b.contains(1, 3, 4)
+        assert not b.contains(2, 3, 4)
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            Box(2, 1, 0, 1, 0, 1)
+
+    def test_intersect(self):
+        a = Box(0, 4, 0, 4, 0, 4)
+        b = Box(2, 6, 2, 6, 2, 6)
+        assert a.intersect(b) == Box(2, 4, 2, 4, 2, 4)
+        assert a.overlaps(b)
+        assert a.intersect(Box(4, 6, 0, 4, 0, 4)) is None
+
+    def test_surface_area(self):
+        # interior 2x2x2 cube in a 10^3 grid: 6 faces of 4 cells each
+        assert Box(4, 6, 4, 6, 4, 6).surface_area(10, 10, 10) == 24
+        # the full grid has no exterior communication
+        assert Box(0, 10, 0, 10, 0, 10).surface_area(10, 10, 10) == 0
+        assert Box(0, 0, 0, 0, 0, 0).surface_area(10, 10, 10) == 0
+
+
+class TestPartition3D:
+    def two_way(self):
+        return Partition3D(
+            [Box(0, 2, 0, 4, 0, 4), Box(2, 4, 0, 4, 0, 4)], (4, 4, 4)
+        )
+
+    def test_valid(self):
+        self.two_way().validate()
+        assert self.two_way().is_valid()
+
+    def test_overlap_detected(self):
+        p = Partition3D(
+            [Box(0, 3, 0, 4, 0, 4), Box(2, 4, 0, 4, 0, 4)], (4, 4, 4)
+        )
+        with pytest.raises(InvalidPartitionError):
+            p.validate()
+
+    def test_gap_detected(self):
+        p = Partition3D(
+            [Box(0, 2, 0, 4, 0, 4), Box(2, 4, 0, 4, 0, 3)], (4, 4, 4)
+        )
+        with pytest.raises(InvalidPartitionError):
+            p.validate()
+
+    def test_out_of_bounds(self):
+        p = Partition3D([Box(0, 5, 0, 4, 0, 4)], (4, 4, 4))
+        with pytest.raises(InvalidPartitionError):
+            p.validate()
+
+    def test_loads_and_owner(self, rng):
+        A = rng.integers(0, 9, (4, 4, 4))
+        pf = PrefixSum3D(A)
+        p = self.two_way()
+        np.testing.assert_array_equal(
+            p.loads(pf), [A[0:2].sum(), A[2:4].sum()]
+        )
+        assert p.owner_of(1, 0, 0) == 0
+        assert p.owner_of(3, 2, 1) == 1
+        with pytest.raises(ParameterError):
+            p.owner_of(4, 0, 0)
+
+
+class TestChoosePQR:
+    def test_cube(self):
+        assert sorted(choose_pqr(64, (100, 100, 100))) == [4, 4, 4]
+
+    def test_fits_shape(self):
+        dims = choose_pqr(64, (2, 100, 100))
+        assert np.prod(dims) == 64
+        assert dims[0] <= 2
+
+    def test_prime(self):
+        dims = choose_pqr(13, (20, 20, 20))
+        assert np.prod(dims) == 13
+
+    def test_nonpositive(self):
+        with pytest.raises(ParameterError):
+            choose_pqr(0, (4, 4, 4))
+
+
+@pytest.mark.parametrize("algo", [vol_uniform, vol_jag_m_heur, vol_hier_rb])
+class TestVolumeAlgorithms:
+    @given(A=tiny_volumes, m=st.integers(1, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_valid(self, algo, A, m):
+        pf = PrefixSum3D(A)
+        p = algo(pf, m)
+        assert p.m == m
+        p.validate()
+        lb = max(-(-int(A.sum()) // m), int(A.max()))
+        assert p.max_load(pf) >= lb or A.sum() == 0
+
+    def test_accepts_raw_array(self, algo, rng):
+        A = rng.integers(1, 9, (6, 6, 6))
+        p = algo(A, 4)
+        p.validate()
+
+
+class TestVolumeQuality:
+    def test_load_aware_beats_uniform_on_blob(self):
+        i, j, k = np.meshgrid(*[np.arange(24)] * 3, indexing="ij")
+        A = (
+            100 + 4000 * np.exp(-((i - 6) ** 2 + (j - 16) ** 2 + (k - 12) ** 2) / 40)
+        ).astype(np.int64)
+        pf = PrefixSum3D(A)
+        uni = vol_uniform(pf, 27).imbalance(pf)
+        jag = vol_jag_m_heur(pf, 27).imbalance(pf)
+        rb = vol_hier_rb(pf, 27).imbalance(pf)
+        assert jag < uni and rb < uni
+
+    def test_jag_slab_override(self, rng):
+        A = rng.integers(1, 9, (12, 12, 12))
+        p = vol_jag_m_heur(A, 8, num_slabs=2, axis=1)
+        p.validate()
+        assert len(p.meta["slab_cuts"]) == 3
+
+    def test_bad_axis(self, rng):
+        with pytest.raises(ParameterError):
+            vol_jag_m_heur(rng.integers(1, 5, (4, 4, 4)), 4, axis=3)
+
+    def test_uniform_dims_mismatch(self, rng):
+        with pytest.raises(ParameterError):
+            vol_uniform(rng.integers(1, 5, (4, 4, 4)), 8, dims=(2, 2, 3))
+
+    def test_communication_volume_reference(self, rng):
+        A = rng.integers(1, 5, (6, 6, 6))
+        p = vol_uniform(A, 8, dims=(2, 2, 2))  # 3x3x3 blocks
+        # each of the three mid-planes crosses 36 faces
+        assert p.communication_volume() == 3 * 36

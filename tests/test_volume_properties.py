@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the 3D volume layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.volume import Box, PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
+
+volumes = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)),
+    elements=st.integers(0, 25),
+)
+
+boxes = st.builds(
+    lambda a0, ea, b0, eb, c0, ec: Box(a0, a0 + ea, b0, b0 + eb, c0, c0 + ec),
+    st.integers(0, 6),
+    st.integers(0, 5),
+    st.integers(0, 6),
+    st.integers(0, 5),
+    st.integers(0, 6),
+    st.integers(0, 5),
+)
+
+
+class TestPrefix3DProperties:
+    @given(volumes, st.data())
+    @settings(max_examples=50)
+    def test_box_load_matches_slice(self, A, data):
+        pf = PrefixSum3D(A)
+        n0, n1, n2 = A.shape
+        a0 = data.draw(st.integers(0, n0))
+        a1 = data.draw(st.integers(a0, n0))
+        b0 = data.draw(st.integers(0, n1))
+        b1 = data.draw(st.integers(b0, n1))
+        c0 = data.draw(st.integers(0, n2))
+        c1 = data.draw(st.integers(c0, n2))
+        assert pf.load(a0, a1, b0, b1, c0, c1) == A[a0:a1, b0:b1, c0:c1].sum()
+
+    @given(volumes)
+    @settings(max_examples=30)
+    def test_total_and_max(self, A):
+        pf = PrefixSum3D(A)
+        assert pf.total == A.sum()
+        assert pf.max_element() == A.max()
+
+
+class TestBoxProperties:
+    @given(boxes, boxes)
+    @settings(max_examples=60)
+    def test_intersection_symmetric_and_consistent(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+        inter = a.intersect(b)
+        if inter is not None:
+            assert inter.volume > 0
+            assert a.overlaps(b)
+            # the intersection is inside both
+            assert a.intersect(inter) == inter
+            assert b.intersect(inter) == inter
+        else:
+            assert not a.overlaps(b) or a.is_empty or b.is_empty
+
+    @given(boxes)
+    @settings(max_examples=30)
+    def test_surface_area_full_in_interior(self, box):
+        # shifted strictly inside a huge grid, the full surface counts
+        interior = Box(
+            box.a0 + 1, box.a1 + 1, box.b0 + 1, box.b1 + 1, box.c0 + 1, box.c1 + 1
+        )
+        full = interior.surface_area(1000, 1000, 1000)
+        ea, eb, ec = interior.extents
+        expected = 2 * (ea * eb + eb * ec + ea * ec) if not interior.is_empty else 0
+        assert full == expected
+
+
+@pytest.mark.parametrize("algo", [vol_uniform, vol_jag_m_heur, vol_hier_rb])
+class TestVolumeAlgorithmProperties:
+    @given(A=volumes, m=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_loads_sum_to_total(self, algo, A, m):
+        pf = PrefixSum3D(A)
+        part = algo(pf, m)
+        part.validate()
+        assert int(part.loads(pf).sum()) == pf.total
