@@ -8,7 +8,6 @@ costs honest.
 import numpy as np
 import pytest
 
-from repro.core.partition import Partition
 from repro.core.prefix import PrefixSum2D
 from repro.instances import uniform
 from repro.rectilinear import rect_uniform

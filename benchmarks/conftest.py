@@ -11,7 +11,6 @@ Scale profile: set ``REPRO_SCALE=paper`` for the paper's instance sizes
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

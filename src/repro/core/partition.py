@@ -15,7 +15,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .errors import InvalidPartitionError, ParameterError
-from .prefix import MatrixLike, PrefixSum2D, prefix_2d
+from .prefix import MatrixLike, prefix_2d
 from .rectangle import Rect
 
 __all__ = ["Partition"]

@@ -167,7 +167,8 @@ class PrefixSum2D:
         along ``axis`` itself and re-based so the first entry is 0.  Used by
         hierarchical algorithms working on sub-rectangles.
         """
-        p = self.axis_prefix(axis, lo, hi)[j0 : j1 + 1]
+        # the prefix window of half-open [j0, j1) has j1-j0+1 entries
+        p = self.axis_prefix(axis, lo, hi)[j0 : j1 + 1]  # repro-lint: disable=RPL002
         return p - p[0]
 
     def max_element(self) -> int:

@@ -35,6 +35,10 @@ def _jag(fn: Algo, orientation: str) -> Algo:
     def run(A: MatrixLike, m: int, **kw) -> Partition:
         return fn(A, m, orientation=orientation, **kw)
 
+    # let inspect.unwrap (and RPL004) reach the documented implementation
+    run.__wrapped__ = fn  # type: ignore[attr-defined]
+    run.__name__ = getattr(fn, "__name__", "jagged")
+    run.__doc__ = fn.__doc__
     return run
 
 
@@ -42,6 +46,9 @@ def _hier(fn: Algo, variant: str) -> Algo:
     def run(A: MatrixLike, m: int, **kw) -> Partition:
         return fn(A, m, variant=variant, **kw)
 
+    run.__wrapped__ = fn  # type: ignore[attr-defined]
+    run.__name__ = getattr(fn, "__name__", "hierarchical")
+    run.__doc__ = fn.__doc__
     return run
 
 

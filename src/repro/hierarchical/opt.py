@@ -130,7 +130,7 @@ def hier_opt_bottleneck(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> int:
 
 
 def hier_opt(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> Partition:
-    """Optimal hierarchical bipartition (small instances only)."""
+    """Optimal hierarchical bipartition (paper §3.3; small instances only)."""
     if m <= 0:
         raise ParameterError("m must be positive")
     pref = prefix_2d(A)

@@ -143,6 +143,7 @@ def oriented(
 
     run.__name__ = getattr(fn, "__name__", "jagged")
     run.__doc__ = fn.__doc__
+    run.__wrapped__ = fn  # type: ignore[attr-defined]
     return run
 
 

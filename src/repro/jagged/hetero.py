@@ -15,7 +15,12 @@ The construction mirrors JAG-M-HEUR three levels down:
    the ordered heterogeneous 1D algorithm.
 
 With identical speeds this degenerates to JAG-M-HEUR with an equal split.
+
+Like :mod:`repro.oned.hetero`, speeds are real-valued by definition, so the
+speed-normalized objective is inherently fractional — an RPL003 exemption
+(rectangle loads themselves remain exact int64 prefix queries).
 """
+# repro-lint: disable-file=RPL003 — heterogeneous speeds make times fractional by design
 
 from __future__ import annotations
 
@@ -70,7 +75,9 @@ def jag_hetero(
     P = num_stripes if num_stripes is not None else default_stripe_count(m, pref.n1)
     P = max(1, min(P, pref.n1, m))
     groups = speed_groups(speeds, P)
-    group_speed = np.array([float(speeds[g].sum()) for g in groups])
+    # speeds are a small per-processor array, not the load matrix: prefix
+    # sums do not apply to a fancy-indexed group sum
+    group_speed = np.array([float(speeds[g].sum()) for g in groups])  # repro-lint: disable=RPL001
     rows = pref.axis_prefix(0)
     # stripes for the super-processors (ordered by group index)
     T = hetero_makespan(rows, group_speed)

@@ -21,6 +21,7 @@ implementation defaults to the paper's practical choice ``P = √m``
 from __future__ import annotations
 
 import heapq
+from fractions import Fraction
 
 import numpy as np
 
@@ -52,23 +53,27 @@ def allocate_processors(loads: np.ndarray, m: int) -> np.ndarray:
         q = np.full(P, m // P, dtype=np.int64)
         q[: m - int(q.sum())] += 1
         return q
-    q = np.ceil((m - P) * loads / total).astype(np.int64)
+    q = -((-(m - P) * loads) // total)  # exact ceil((m-P)·load/total)
     np.maximum(q, 1, out=q)
     # ceil-sum can exceed m - P by at most P, and the max(·,1) bump only
     # applies to zero-load stripes; shave overflow from the least loaded
-    # per-processor stripes, then distribute what is left.
+    # per-processor stripes, then distribute what is left.  Tie-breaking
+    # compares exact Fractions: float ratios can reorder stripes once loads
+    # outgrow 2**53 (RPL003 discipline; P ≈ √m keeps the loops cheap).
     while int(q.sum()) > m:
-        ratios = np.where(q > 1, loads / q, np.inf)
-        s = int(np.argmin(ratios))
+        s = min(
+            (s for s in range(P) if q[s] > 1),
+            key=lambda s: Fraction(int(loads[s]), int(q[s])),
+        )
         q[s] -= 1
     remaining = m - int(q.sum())
     if remaining > 0:
-        heap = [(-loads[s] / q[s], s) for s in range(P)]
+        heap = [(Fraction(-int(loads[s]), int(q[s])), s) for s in range(P)]
         heapq.heapify(heap)
         for _ in range(remaining):
             _, s = heapq.heappop(heap)
             q[s] += 1
-            heapq.heappush(heap, (-loads[s] / q[s], s))
+            heapq.heappush(heap, (Fraction(-int(loads[s]), int(q[s])), s))
     return q
 
 
@@ -112,7 +117,7 @@ def _jag_m_heur_main0(
     num_stripes: int | str | None = None,
     oned: str = "nicolplus",
 ) -> Partition:
-    """m-way jagged heuristic on main dimension 0 (see module docstring)."""
+    """m-way jagged heuristic (§3.2.2) on main dimension 0 (see module docstring)."""
     candidates = _stripe_candidates(pref, m, "sqrt" if num_stripes is None else num_stripes)
     if len(candidates) > 1:
         parts = [

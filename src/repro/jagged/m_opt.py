@@ -133,7 +133,7 @@ def _backtrack_stripes(pref: PrefixSum2D, B: int, m: int) -> np.ndarray:
 
 
 def _jag_m_opt_main0(pref: PrefixSum2D, m: int) -> Partition:
-    """Optimal m-way jagged partition on main dimension 0."""
+    """Optimal m-way jagged partition (§3.2.2) on main dimension 0."""
     B = jag_m_opt_bottleneck(pref, m)
     stripe_cuts = _backtrack_stripes(pref, B, m)
     P = len(stripe_cuts) - 1

@@ -51,7 +51,7 @@ def _jag_pq_heur_main0(
     Q: int | None = None,
     oned: str = "nicolplus",
 ) -> Partition:
-    """P×Q-way jagged heuristic on main dimension 0 (see module docstring)."""
+    """P×Q-way jagged heuristic (§3.2.1) on main dimension 0 (see module docstring)."""
     if P is None or Q is None:
         P, Q = choose_pq(m, pref.n1, pref.n2)
     elif P * Q != m:

@@ -95,7 +95,7 @@ def jag_pq_opt_bottleneck(
 def _jag_pq_opt_main0(
     pref: PrefixSum2D, m: int, P: int | None = None, Q: int | None = None
 ) -> Partition:
-    """Optimal P×Q-way jagged partition on main dimension 0."""
+    """Optimal P×Q-way jagged partition (§3.2.1) on main dimension 0."""
     if P is None or Q is None:
         P, Q = choose_pq(m, pref.n1, pref.n2)
     elif P * Q != m:

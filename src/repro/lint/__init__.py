@@ -1,0 +1,24 @@
+"""repro-lint: repo-specific static analysis for the partitioning codebase.
+
+The paper's correctness-and-speed story rests on three conventions that
+ordinary linters cannot see:
+
+* rectangle/interval loads are O(1) prefix-sum queries (§2.1, the Γ array),
+  never O(n) slice sums;
+* every interval is half-open ``[lo, hi)``, mapping directly onto slices;
+* loads stay exact ``int64`` so the optimal algorithms (Nicol's parametric
+  search, integer bisection) can bisect exactly.
+
+This package enforces them with an AST rule engine (:mod:`.engine`), a
+ruleset grounded in this codebase (:mod:`.rules`, RPL001–RPL005), and a CLI
+(:mod:`.cli`, installed as ``repro-lint`` / ``python -m repro.lint``).
+
+See ``docs/lint.md`` for the rule catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .engine import LintResult, Violation, lint_paths
+from .rules import ALL_RULES, check_registry
+
+__all__ = ["LintResult", "Violation", "lint_paths", "ALL_RULES", "check_registry"]

@@ -1,0 +1,228 @@
+"""AST rule engine for ``repro-lint``.
+
+The engine is deliberately small: a rule is an object with a ``code``, a
+``name``, a ``rationale`` and a ``check(ctx)`` generator over
+:class:`Violation`; the engine walks the target tree, parses each Python
+file once, applies every selected rule whose :meth:`Rule.applies_to` accepts
+the file, and filters the result through per-line and per-file suppressions.
+
+Suppression syntax (checked anywhere in a file, conventionally as a trailing
+comment on the flagged line / near the top of the file)::
+
+    x = A[r0:r1, c0:c1].sum()   # repro-lint: disable=RPL001  <why it is OK>
+    # repro-lint: disable-file=RPL003  <why the whole file is exempt>
+
+``disable=all`` silences every rule for that line.  Suppressions are counted
+and reported so they stay visible in CI output.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "LintResult",
+    "collect_files",
+    "lint_paths",
+]
+
+#: packages whose modules are "hot path" for the prefix-sum / integer rules
+HOT_PACKAGES = frozenset(
+    {"oned", "jagged", "rectilinear", "hierarchical", "spiral", "volume", "dynamic"}
+)
+#: packages additionally covered by the interval-convention and mutation rules
+CORE_PACKAGES = HOT_PACKAGES | {"core"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+?|all)\s*(?:\s[-—#].*)?$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """A parsed source file plus its suppression table."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = ast.parse(source, filename=rel)
+        self.line_suppressions: dict[int, set[str]] = {}
+        self.file_suppressions: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(text)
+            if m is None:
+                continue
+            codes = {c.strip().upper() for c in m.group("codes").split(",") if c.strip()}
+            if m.group("scope"):
+                self.file_suppressions |= codes
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(codes)
+
+    def package_parts(self) -> frozenset[str]:
+        """Directory names along the file's path (used for rule applicability)."""
+        return frozenset(Path(self.rel).parts[:-1])
+
+    def is_suppressed(self, v: Violation) -> bool:
+        codes = self.line_suppressions.get(v.line, set()) | self.file_suppressions
+        return v.rule in codes or "ALL" in codes
+
+
+class Rule:
+    """Base class for per-file AST rules."""
+
+    code: str = "RPL000"
+    name: str = "unnamed"
+    rationale: str = ""
+    #: directory names this rule applies to; ``None`` means every file
+    scope: frozenset[str] | None = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self.scope is None or bool(self.scope & ctx.package_parts())
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for whole-project rules (run once per lint invocation)."""
+
+    code: str = "RPL000"
+    name: str = "unnamed"
+    rationale: str = ""
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run: violations kept, suppressions honoured, errors."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            for f in p.rglob("*.py"):
+                if "__pycache__" in f.parts or any(
+                    part.startswith(".") for part in f.parts
+                ):
+                    continue
+                out.add(f)
+    return sorted(out)
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _selected(code: str, select: set[str] | None, ignore: set[str]) -> bool:
+    if code in ignore:
+        return False
+    return select is None or code in select
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
+) -> LintResult:
+    """Lint ``paths`` with the given (default: all registered) rules.
+
+    ``select``/``ignore`` filter by rule code.  Project rules run once over
+    the full file set; per-file rules run on each file they apply to.
+    """
+    from .rules import ALL_PROJECT_RULES, ALL_RULES
+
+    ignore = {c.upper() for c in (ignore or set())}
+    if select is not None:
+        select = {c.upper() for c in select}
+    active = [r for r in (rules if rules is not None else ALL_RULES)
+              if _selected(r.code, select, ignore)]
+    active_project = [
+        r
+        for r in (project_rules if project_rules is not None else ALL_PROJECT_RULES)
+        if _selected(r.code, select, ignore)
+    ]
+
+    result = LintResult()
+    contexts: list[FileContext] = []
+    for path in collect_files(Path(p) for p in paths):
+        rel = _relative(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext(path, rel, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append(f"{rel}: cannot lint: {exc}")
+            continue
+        contexts.append(ctx)
+        result.files_checked += 1
+        for rule in active:
+            if not rule.applies_to(ctx):
+                continue
+            for v in rule.check(ctx):
+                (result.suppressed if ctx.is_suppressed(v) else result.violations).append(v)
+
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for prule in active_project:
+        for v in prule.check_project(contexts):
+            ctx = by_rel.get(v.path)
+            if ctx is not None and ctx.is_suppressed(v):
+                result.suppressed.append(v)
+            else:
+                result.violations.append(v)
+
+    result.violations.sort()
+    result.suppressed.sort()
+    return result

@@ -53,7 +53,8 @@ class OneDResult:
     def imbalance(self, P: np.ndarray) -> float:
         """Load imbalance ``Lmax / Lavg - 1`` of this 1D partition."""
         avg = int(P[-1]) / self.m
-        return (self.bottleneck / avg - 1.0) if avg > 0 else 0.0
+        # reporting boundary: floats never feed back into a search
+        return (self.bottleneck / avg - 1.0) if avg > 0 else 0.0  # repro-lint: disable=RPL003
 
 
 def _run_heuristic(fn: Callable[[np.ndarray, int], np.ndarray]):

@@ -13,7 +13,13 @@ the integer *bottleneck load of the slowest-constrained interval*; concretely
 we bisect on ``T`` over the discrete candidate set ``{load(i,j)/s_p}``
 implicitly via floating bisection to machine precision, then rebuild cuts
 with the feasibility probe.
+
+Speeds are real-valued by definition, so the makespan objective is
+inherently fractional: the whole module is an RPL003 exemption (interval
+*loads* remain exact int64 prefix differences throughout; only the
+speed-normalized times are floats).  See ``docs/lint.md``.
 """
+# repro-lint: disable-file=RPL003 — heterogeneous speeds make times fractional by design
 
 from __future__ import annotations
 

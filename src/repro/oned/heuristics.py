@@ -11,10 +11,16 @@
   also ``Lmax(RB) <= sum/m + max``.
 
 All functions take a prefix-sum array (``P[0] == 0``, length ``n+1``) and
-return an int64 cut array of length ``m+1``.
+return an int64 cut array of length ``m+1``.  All arithmetic is exact:
+cut targets are integer floor divisions (``P[i] > p·total/m`` is equivalent
+to ``P[i] > (p·total)//m`` for integer prefixes) and tie-breaking compares
+:class:`fractions.Fraction` values, so the heuristics are bit-stable even
+when loads approach 2**53 (enforced by RPL003, see ``docs/lint.md``).
 """
 
 from __future__ import annotations
+
+from fractions import Fraction
 
 import numpy as np
 
@@ -28,7 +34,8 @@ def direct_cut(P: np.ndarray, m: int) -> np.ndarray:
     """
     n = len(P) - 1
     total = int(P[-1])
-    targets = (np.arange(1, m, dtype=np.float64) * total) / m
+    # integer P[i] > p·total/m  ⇔  P[i] > (p·total)//m: exact integer targets
+    targets = (np.arange(1, m, dtype=np.int64) * total) // m
     inner = np.searchsorted(P, targets, side="right").astype(np.int64)
     np.clip(inner, 0, n, out=inner)
     cuts = np.empty(m + 1, dtype=np.int64)
@@ -48,11 +55,12 @@ def direct_cut_refined(P: np.ndarray, m: int) -> np.ndarray:
     """
     n = len(P) - 1
     total = int(P[-1])
-    targets = (np.arange(1, m, dtype=np.float64) * total) / m
-    hi = np.searchsorted(P, targets, side="right").astype(np.int64)
+    # exact: |P[i] − p·total/m| ≤ |P[j] − p·total/m| ⇔ |m·P[i] − p·total| ≤ |m·P[j] − p·total|
+    scaled_targets = np.arange(1, m, dtype=np.int64) * total
+    hi = np.searchsorted(P, scaled_targets // m, side="right").astype(np.int64)
     np.clip(hi, 1, n, out=hi)
     lo = hi - 1
-    pick_lo = np.abs(P[lo] - targets) <= np.abs(P[hi] - targets)
+    pick_lo = np.abs(m * P[lo] - scaled_targets) <= np.abs(m * P[hi] - scaled_targets)
     inner = np.where(pick_lo, lo, hi)
     cuts = np.empty(m + 1, dtype=np.int64)
     cuts[0] = 0
@@ -69,17 +77,19 @@ def _best_cut(P: np.ndarray, lo: int, hi: int, w1: int, w2: int) -> int:
     max is bimonotonic; the optimum straddles the weighted balance point,
     which one binary search locates.
     """
-    base = P[lo]
-    total = P[hi] - base
-    target = base + total * (w1 / (w1 + w2))
-    c = int(np.searchsorted(P[lo : hi + 1], target, side="right")) - 1 + lo
+    base = int(P[lo])
+    total = int(P[hi]) - base
+    # integer floor target is exact: P[i] ≤ base + total·w1/(w1+w2) ⇔ P[i] ≤ floor(·)
+    target = base + (total * w1) // (w1 + w2)
+    window = P[lo : hi + 1]  # prefix window of [lo, hi) # repro-lint: disable=RPL002
+    c = int(np.searchsorted(window, target, side="right")) - 1 + lo
     best_c, best_v = lo, None
     for cand in (c, c + 1):
         if cand < lo or cand > hi:
             continue
-        l1 = int(P[cand] - base)
-        l2 = int(total - l1)
-        v = max(l1 / w1, l2 / w2)
+        l1 = int(P[cand]) - base
+        l2 = total - l1
+        v = max(Fraction(l1, w1), Fraction(l2, w2))
         if best_v is None or v < best_v:
             best_c, best_v = cand, v
     return best_c
@@ -106,8 +116,12 @@ def recursive_bisection(P: np.ndarray, m: int) -> np.ndarray:
         c = _best_cut(P, lo, hi, m1, m2)
         if m1 != m2:
             c_alt = _best_cut(P, lo, hi, m2, m1)
-            v = max((P[c] - P[lo]) / m1, (P[hi] - P[c]) / m2)
-            v_alt = max((P[c_alt] - P[lo]) / m2, (P[hi] - P[c_alt]) / m1)
+            v = max(
+                Fraction(int(P[c] - P[lo]), m1), Fraction(int(P[hi] - P[c]), m2)
+            )
+            v_alt = max(
+                Fraction(int(P[c_alt] - P[lo]), m2), Fraction(int(P[hi] - P[c_alt]), m1)
+            )
             if v_alt < v:
                 c, m1, m2 = c_alt, m2, m1
         cuts[offset + m1] = c

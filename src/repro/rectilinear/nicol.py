@@ -49,7 +49,7 @@ def rect_nicol(
     *,
     max_iters: int = 20,
 ) -> Partition:
-    """Iteratively refined ``P×Q`` rectilinear partition.
+    """Iteratively refined ``P×Q`` rectilinear partition (§3.1, refs [9, 15]).
 
     Starts from uniform row cuts, then alternately re-optimizes the column
     and row cuts against the striped max-load cost until the bottleneck

@@ -27,7 +27,7 @@ def uniform_cuts(n: int, parts: int) -> np.ndarray:
 def rect_uniform(
     A: MatrixLike, m: int, P: int | None = None, Q: int | None = None
 ) -> Partition:
-    """Uniform ``P×Q`` rectilinear partition (area-balanced, load-oblivious)."""
+    """Uniform ``P×Q`` rectilinear partition (§3.1; area-balanced, load-oblivious)."""
     pref = prefix_2d(A)
     if P is None or Q is None:
         P, Q = choose_pq(m, pref.n1, pref.n2)

@@ -20,6 +20,7 @@ processor's rectangle.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from functools import lru_cache
 
 from ..core.errors import ParameterError
@@ -57,7 +58,7 @@ def _strip_load(pref: PrefixSum2D, rect: Rect, side: str, width: int) -> int:
 
 
 def spiral_relaxed(A: MatrixLike, m: int, *, start_side: str = "top") -> Partition:
-    """Spiral heuristic: peel one strip per processor in rotating side order.
+    """Spiral heuristic (§3.4): peel one strip per processor in rotating side order.
 
     At each step the strip width is chosen so the strip load is closest to
     the remaining average load (the HIER-RELAXED relaxation with j = 1): a
@@ -91,7 +92,9 @@ def spiral_relaxed(A: MatrixLike, m: int, *, start_side: str = "top") -> Partiti
                 rect = Rect(rect.r0, rect.r0, rect.c0, rect.c0)
                 continue
         total = pref.load(rect.r0, rect.r1, rect.c0, rect.c1)
-        target = total / remaining
+        # exact rational target: integer strip loads compare against it
+        # without float rounding (RPL003 discipline)
+        target = Fraction(total, remaining)
         lo, hi = 1, extent - 1
         while lo < hi:
             mid = (lo + hi) // 2

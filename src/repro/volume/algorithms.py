@@ -18,6 +18,8 @@ All run through ``Γ₃`` (O(1) box loads) and the 2D machinery via
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 import numpy as np
 
 from ..core.errors import ParameterError
@@ -163,13 +165,15 @@ def vol_hier_rb(A, m: int) -> Partition3D:
                 continue
             total = int(bp[-1])
             for wl, wr in orientations:
-                target = total * (wl / procs)
+                # exact integer balance target and Fraction scores, as in
+                # hierarchical.cuts.best_weighted_cut (RPL003 discipline)
+                target = (total * wl) // procs
                 c = int(np.searchsorted(bp, target, side="right")) - 1
                 for cand in (c, c + 1):
                     if not (1 <= cand <= L - 1):
                         continue
                     l1 = int(bp[cand])
-                    v = max(l1 / wl, (total - l1) / wr)
+                    v = max(Fraction(l1, wl), Fraction(total - l1, wr))
                     if best is None or v < best[0]:
                         best = (v, axis, cand, wl, wr)
         if best is None:  # un-cuttable box with several processors

@@ -11,10 +11,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import ALGORITHMS, lower_bound, partition_2d
+from repro import lower_bound, partition_2d
 from repro.core.errors import InvalidPartitionError, ParameterError
 from repro.core.partition import Partition
-from repro.core.prefix import PrefixSum2D
 from repro.core.rectangle import Rect
 
 FAST = [

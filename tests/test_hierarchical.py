@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.errors import ParameterError
-from repro.core.prefix import PrefixSum2D
 from repro.hierarchical import (
     HIER_VARIANTS,
     HierNode,

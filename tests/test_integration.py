@@ -5,7 +5,6 @@ instance generation → partitioning → metrics → rendering/serialization →
 execution simulation, mixing modules the unit tests cover in isolation.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,0 +1,322 @@
+"""Tests for the repro-lint static-analysis subsystem (RPL001–RPL005).
+
+Each rule is exercised both ways: a fixture snippet that must trigger it and
+the idiomatic equivalent that must stay silent, plus the suppression syntax.
+A final smoke test asserts the linter exits 0 on the repo's own source tree
+— the property CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.partition import Partition
+from repro.lint import check_registry, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import LintResult, Violation
+from repro.lint.reporters import json_report, text_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path: Path, package: str, source: str) -> LintResult:
+    """Write ``source`` under a directory named ``package`` and lint it."""
+    pkg = tmp_path / package
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "snippet.py").write_text(source, encoding="utf-8")
+    return lint_paths([pkg])
+
+
+def codes(result: LintResult) -> list[str]:
+    return [v.rule for v in result.violations]
+
+
+class TestRPL001PrefixSum:
+    def test_slice_sum_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "jagged", "total = A[r0:r1, c0:c1].sum()\n")
+        assert codes(res) == ["RPL001"]
+
+    def test_np_sum_over_slice_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "import numpy as np\nt = np.sum(P[lo:hi])\n")
+        assert codes(res) == ["RPL001"]
+
+    def test_accumulation_loop_triggers(self, tmp_path):
+        src = "total = 0\nfor i in range(r0, r1):\n    total += A[i]\n"
+        res = lint_snippet(tmp_path, "spiral", src)
+        assert codes(res) == ["RPL001"]
+
+    def test_prefix_query_is_silent(self, tmp_path):
+        res = lint_snippet(tmp_path, "jagged", "total = pref.load(r0, r1, c0, c1)\n")
+        assert codes(res) == []
+
+    def test_name_receiver_sum_is_silent(self, tmp_path):
+        # summing a small derived vector (stripe loads) is not a slice re-scan
+        res = lint_snippet(tmp_path, "jagged", "total = int(loads.sum())\n")
+        assert codes(res) == []
+
+    def test_outside_hot_packages_is_silent(self, tmp_path):
+        res = lint_snippet(tmp_path, "experiments", "total = A[r0:r1].sum()\n")
+        assert codes(res) == []
+
+    def test_suppression(self, tmp_path):
+        src = "total = A[r0:r1].sum()  # repro-lint: disable=RPL001\n"
+        res = lint_snippet(tmp_path, "jagged", src)
+        assert codes(res) == []
+        assert [v.rule for v in res.suppressed] == ["RPL001"]
+
+
+class TestRPL002HalfOpen:
+    def test_plus_one_slice_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "window = P[lo : hi + 1]\n")
+        assert codes(res) == ["RPL002"]
+
+    def test_minus_one_slice_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "core", "window = P[lo - 1 : hi]\n")
+        assert codes(res) == ["RPL002"]
+
+    def test_inclusive_range_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "rectilinear", "xs = list(range(lo, hi + 1))\n")
+        assert codes(res) == ["RPL002"]
+
+    def test_inclusive_compare_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "hierarchical", "ok = x <= hi\n")
+        assert codes(res) == ["RPL002"]
+
+    def test_half_open_idioms_are_silent(self, tmp_path):
+        src = "window = P[lo:hi]\nxs = list(range(lo, hi))\nok = lo <= x < hi\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+
+    def test_suppression(self, tmp_path):
+        src = "window = P[lo : hi + 1]  # prefix window # repro-lint: disable=RPL002\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+        assert [v.rule for v in res.suppressed] == ["RPL002"]
+
+
+class TestRPL003IntegerLoad:
+    def test_float_cast_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "b = float(total)\n")
+        assert codes(res) == ["RPL003"]
+
+    def test_true_division_on_load_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "jagged", "ratio = loads / q\n")
+        assert codes(res) == ["RPL003"]
+
+    def test_float_dtype_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "volume", "import numpy as np\nx = np.float64(3)\n")
+        assert codes(res) == ["RPL003"]
+
+    def test_exact_idioms_are_silent(self, tmp_path):
+        src = (
+            "from fractions import Fraction\n"
+            "q = -((-loads) // total)\n"
+            "r = Fraction(int(total), 3)\n"
+            "inf = float('inf')\n"
+            "mid = (lo + hi) // 2\n"
+        )
+        res = lint_snippet(tmp_path, "jagged", src)
+        assert codes(res) == []
+
+    def test_file_level_suppression(self, tmp_path):
+        src = (
+            "# repro-lint: disable-file=RPL003 — speeds are fractional by design\n"
+            "t = total / speeds\n"
+            "b = float(total)\n"
+        )
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+        assert len(res.suppressed) == 2
+
+    def test_line_suppression(self, tmp_path):
+        src = "avg = total / m  # repro-lint: disable=RPL003\n"
+        res = lint_snippet(tmp_path, "volume", src)
+        assert codes(res) == []
+
+
+class TestRPL005NoInputMutation:
+    def test_subscript_write_triggers(self, tmp_path):
+        src = "def algo(A, m):\n    A[0, 0] = 5\n    return m\n"
+        res = lint_snippet(tmp_path, "core", src)
+        assert codes(res) == ["RPL005"]
+
+    def test_augassign_triggers(self, tmp_path):
+        src = "def algo(A, m):\n    A += 1\n    return m\n"
+        res = lint_snippet(tmp_path, "jagged", src)
+        assert codes(res) == ["RPL005"]
+
+    def test_mutator_method_triggers(self, tmp_path):
+        src = "def algo(A, m):\n    A.sort()\n    return m\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL005"]
+
+    def test_out_keyword_triggers(self, tmp_path):
+        src = "import numpy as np\ndef algo(A, m):\n    np.clip(A, 0, 9, out=A)\n    return m\n"
+        res = lint_snippet(tmp_path, "volume", src)
+        assert codes(res) == ["RPL005"]
+
+    def test_copy_then_modify_is_silent(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "def algo(A, m):\n"
+            "    B = A.copy()\n"
+            "    B[0, 0] = 5\n"
+            "    A = np.asarray(A)\n"  # rebinding the local name is fine
+            "    return B\n"
+        )
+        res = lint_snippet(tmp_path, "core", src)
+        assert codes(res) == []
+
+    def test_functions_without_A_are_silent(self, tmp_path):
+        src = "def helper(B, m):\n    B[0] = 1\n    return m\n"
+        res = lint_snippet(tmp_path, "core", src)
+        assert codes(res) == []
+
+    def test_suppression(self, tmp_path):
+        src = "def algo(A, m):\n    A[0] = 1  # repro-lint: disable=RPL005\n    return m\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+
+
+class TestRPL004Registry:
+    DOCS = "RECT-GOOD is documented here."
+
+    @staticmethod
+    def _good(A, m) -> Partition:
+        """Implements §3.1 of the paper."""
+        raise NotImplementedError
+
+    def test_compliant_registry_is_silent(self):
+        assert check_registry({"RECT-GOOD": self._good}, self.DOCS) == []
+
+    def test_variant_suffix_resolves_to_base_doc_entry(self):
+        assert check_registry({"RECT-GOOD-HOR": self._good}, self.DOCS) == []
+
+    def test_non_callable_triggers(self):
+        out = check_registry({"RECT-GOOD": 42}, self.DOCS)
+        assert [v.rule for v in out] == ["RPL004"]
+
+    def test_missing_citation_triggers(self):
+        def algo(A, m) -> Partition:
+            """No citation at all."""
+
+        out = check_registry({"RECT-GOOD": algo}, self.DOCS)
+        assert any("cites no paper section" in v.message for v in out)
+
+    def test_missing_docstring_triggers(self):
+        def algo(A, m) -> Partition:
+            pass
+
+        out = check_registry({"RECT-GOOD": algo}, self.DOCS)
+        assert any("no docstring" in v.message for v in out)
+
+    def test_wrong_return_annotation_triggers(self):
+        def algo(A, m) -> int:
+            """Implements §3.1."""
+            return 0
+
+        out = check_registry({"RECT-GOOD": algo}, self.DOCS)
+        assert any("Partition return" in v.message for v in out)
+
+    def test_missing_docs_entry_triggers(self):
+        out = check_registry({"RECT-UNLISTED": self._good}, self.DOCS)
+        assert any("missing from docs" in v.message for v in out)
+
+    def test_unwraps_registry_wrappers(self):
+        def impl(A, m) -> Partition:
+            """Implements §3.2."""
+            raise NotImplementedError
+
+        def wrapper(A, m, **kw):
+            return impl(A, m, **kw)
+
+        wrapper.__wrapped__ = impl
+        assert check_registry({"RECT-GOOD": wrapper}, self.DOCS) == []
+
+
+class TestEngineAndCli:
+    def test_disable_all(self, tmp_path):
+        src = "b = float(total); w = P[lo : hi + 1]  # repro-lint: disable=all\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+        assert len(res.suppressed) == 2
+
+    def test_violations_sorted_and_rendered(self, tmp_path):
+        src = "b = float(total)\nw = P[lo : hi + 1]\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL002", "RPL003"] or codes(res) == ["RPL003", "RPL002"]
+        lines = [v.render() for v in res.violations]
+        assert all("snippet.py" in line for line in lines)
+        assert [v.line for v in res.violations] == sorted(v.line for v in res.violations)
+
+    def test_syntax_error_reported_as_error(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "def broken(:\n")
+        assert res.exit_code == 2
+        assert res.errors
+
+    def test_select_and_ignore(self, tmp_path):
+        pkg = tmp_path / "oned"
+        pkg.mkdir()
+        (pkg / "s.py").write_text("b = float(total)\nw = P[lo : hi + 1]\n")
+        only3 = lint_paths([pkg], select={"RPL003"})
+        assert codes(only3) == ["RPL003"]
+        not3 = lint_paths([pkg], ignore={"RPL003"})
+        assert codes(not3) == ["RPL002"]
+
+    def test_json_report_shape(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "b = float(total)\n")
+        payload = json.loads(json_report(res))
+        assert payload["exit_code"] == 1
+        assert payload["violations"][0]["rule"] == "RPL003"
+        assert {"path", "line", "col", "message"} <= set(payload["violations"][0])
+
+    def test_text_report_summary(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "b = float(total)\n")
+        out = text_report(res)
+        assert "1 violation in 1 file (0 suppressed)" in out
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        pkg = tmp_path / "jagged"
+        pkg.mkdir()
+        bad = pkg / "bad.py"
+        bad.write_text("t = A[r0:r1].sum()\n")
+        assert lint_main([str(bad)]) == 1
+        bad.write_text("t = pref.load(r0, r1)\n")
+        assert lint_main([str(bad)]) == 0
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_cli_unknown_code_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main(["--select", "RPL999", "."])
+        capsys.readouterr()
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert code in out
+
+
+class TestRepoIsClean:
+    def test_repro_lint_passes_on_own_tree(self, capsys):
+        """The CI gate: repro-lint src/repro must exit 0 on the repo itself."""
+        src = REPO_ROOT / "src" / "repro"
+        assert src.is_dir()
+        assert lint_main([str(src)]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith("suppressed)")
+
+    def test_real_registry_is_consistent(self):
+        from repro.core.registry import ALGORITHMS
+
+        docs = (REPO_ROOT / "docs" / "algorithms.md").read_text(encoding="utf-8")
+        assert check_registry(ALGORITHMS, docs) == []
+
+    def test_violation_ordering(self):
+        a = Violation("a.py", 1, 1, "RPL001", "x")
+        b = Violation("a.py", 2, 1, "RPL001", "x")
+        assert a < b

@@ -1,6 +1,5 @@
 """Tests for the algorithm registry and the partition_2d entry point."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import partition_2d
-from repro.core.prefix import PrefixSum2D
 from repro.runtime import BSPSimulator, CostModel, SimulationReport
 
 

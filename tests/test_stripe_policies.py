@@ -1,6 +1,5 @@
 """Tests for the JAG-M-HEUR stripe-count policies (sqrt / theorem4 / auto)."""
 
-import numpy as np
 import pytest
 
 from repro.core.errors import ParameterError
