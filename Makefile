@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint ruff mypy test
+.PHONY: check lint ruff mypy test bench-json bench-smoke
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -28,3 +28,13 @@ lint:
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# perf-regression harness: times every optimized kernel against its
+# reference path and writes BENCH_core.json at the repo root
+bench-json:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --min-speedup 2.0
+
+# CI smoke: tiny instances, seconds of wall-clock, still asserts that the
+# optimized paths return bit-identical results
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --profile tiny

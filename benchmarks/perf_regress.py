@@ -1,0 +1,301 @@
+"""Perf-regression harness: before/after wall-clock of the optimized kernels.
+
+Every optimized code path in the repo dispatches on
+:func:`repro.perf.config.perf_enabled` and keeps the reference
+implementation alive, so this harness can time the *same* entry points in
+both modes, in one process, on fixed seeded instances — and assert the
+partitions are bit-identical while it does so.
+
+Benches come in three groups:
+
+* ``kernel/*`` — the core kernels in isolation (projection cache, direct
+  ndarray bisection, batched feasibility curve, jump-table greedy);
+* ``fig_jagged/*`` — one jagged-family figure sweep (uniform instance,
+  paper §4's m values at the small profile);
+* ``fig_hier/*`` — one hierarchical-family figure sweep (peak instance).
+
+Output is ``BENCH_core.json`` at the repository root (``--out`` to move
+it): per-bench ``before_s`` / ``after_s`` / ``speedup`` / ``identical``
+plus per-family aggregates.  Run via ``make bench-json`` (full) or ``make
+bench-smoke`` (the ``tiny`` profile CI uses).  Exits non-zero if any bench
+produced a non-identical result, or — with ``--min-speedup`` — if a figure
+family misses the requested aggregate speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.prefix import PrefixSum2D  # noqa: E402
+from repro.core.registry import partition_2d  # noqa: E402
+from repro.instances import peak, uniform  # noqa: E402
+from repro.oned.bisect import bisect_bottleneck, feasible_bottlenecks  # noqa: E402
+from repro.oned.probe import min_parts  # noqa: E402
+from repro.perf import min_parts_batch, perf_enabled, use_perf  # noqa: E402
+
+
+@dataclass
+class Bench:
+    """One before/after measurement: same call, perf layer off vs on."""
+
+    name: str
+    family: str
+    setup: Callable[[], Any]  # fresh state per repeat (not timed)
+    call: Callable[[Any], Any]  # the timed entry point
+    key: Callable[[Any], Any]  # comparable form of the result
+    repeats: int = 3
+
+
+def _time_mode(bench: Bench, enabled: bool) -> tuple[float, Any]:
+    """Best-of-N wall-clock of ``bench.call`` with the perf layer toggled."""
+    best = float("inf")
+    result = None
+    with use_perf(enabled):
+        for _ in range(bench.repeats):
+            state = bench.setup()
+            t0 = time.perf_counter()
+            result = bench.call(state)
+            dt = time.perf_counter() - t0
+            best = min(best, dt)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# bench construction
+
+
+def _partition_bench(
+    name: str, family: str, A: np.ndarray, m: int, method: str, repeats: int
+) -> Bench:
+    return Bench(
+        name=name,
+        family=family,
+        setup=lambda: PrefixSum2D(A),
+        call=lambda pref: partition_2d(pref, m, method),
+        key=lambda part: part.rects,
+        repeats=repeats,
+    )
+
+
+def _kernel_benches(tiny: bool) -> list[Bench]:
+    rng = np.random.default_rng(2024)
+    n_proj = 96 if tiny else 256
+    A = rng.integers(0, 100, (n_proj, n_proj))
+    bands = [tuple(sorted(rng.integers(0, n_proj + 1, 2))) for _ in range(40)]
+    bands = [(lo, hi) for lo, hi in bands if hi > lo]
+
+    def proj_sweep(pref: PrefixSum2D) -> int:
+        # every band queried several times: the access pattern of the
+        # jagged/hierarchical recursions that the projection cache serves
+        acc = 0
+        for _ in range(6):
+            for lo, hi in bands:
+                acc ^= int(pref.axis_prefix(1, lo, hi)[-1])
+                acc ^= len(pref.boundary_list(1, lo, hi))
+        return acc
+
+    n_1d = 20_000 if tiny else 100_000
+    values = np.random.default_rng(7).integers(0, 1_000_000, n_1d)
+    P = np.concatenate([[0], np.cumsum(values)]).astype(np.int64)
+    m_1d = 16 if tiny else 64  # keeps n >= 512*m so the nd probe path engages
+
+    # bottleneck low enough that the greedy crosses ~n/8 intervals: below
+    # that the jump table's O(n) build doesn't amortize (measured crossover;
+    # m_opt's scan sits far past it because its stripe prefixes are short)
+    big_B = 8 * int(P[-1]) // n_1d
+
+    # feasibility curve: many independent probe decisions against one prefix
+    # — probe_batch's native shape (one chained searchsorted per greedy round
+    # advances every candidate at once)
+    total = int(P[-1])
+    curve_Bs = np.linspace(total // (2 * m_1d), 2 * total // m_1d, 256).astype(np.int64)
+
+    return [
+        Bench(
+            name="kernel/projection_cache",
+            family="kernels",
+            setup=lambda: PrefixSum2D(A),
+            call=proj_sweep,
+            key=lambda acc: acc,
+            repeats=5,
+        ),
+        Bench(
+            name="kernel/bisect_1d_nd_probe",
+            family="kernels",
+            setup=lambda: P,
+            call=lambda Ps: bisect_bottleneck(Ps, m_1d),
+            key=lambda B: B,
+            repeats=5,
+        ),
+        Bench(
+            name="kernel/probe_feasibility_curve",
+            family="kernels",
+            setup=lambda: P,
+            call=lambda Ps: feasible_bottlenecks(Ps, m_1d, curve_Bs),
+            key=lambda out: out.tolist(),
+            repeats=5,
+        ),
+        Bench(
+            name="kernel/min_parts_jump_table",
+            family="kernels",
+            setup=lambda: P,
+            # dispatch by hand here: min_parts_batch is the perf twin of
+            # min_parts (equality is asserted through the shared key)
+            call=lambda Ps: (
+                min_parts_batch(Ps, big_B) if perf_enabled() else min_parts(Ps, big_B)
+            ),
+            key=lambda parts: parts,
+            repeats=5,
+        ),
+    ]
+
+
+def _figure_benches(tiny: bool) -> list[Bench]:
+    benches: list[Bench] = []
+
+    # jagged family: uniform instance (paper §4.1), small-profile m values
+    n_jag = 64 if tiny else 128
+    A_jag = uniform(n_jag, 1.3, seed=0)
+    heur_ms = (16, 36) if tiny else (16, 36, 64, 144)
+    opt_ms = (16,) if tiny else (36, 144)
+    for method in ("JAG-PQ-HEUR", "JAG-M-HEUR"):
+        for m in heur_ms:
+            benches.append(
+                _partition_bench(
+                    f"fig_jagged/{method}/m={m}", "jagged", A_jag, m, method, repeats=5
+                )
+            )
+    for m in opt_ms:
+        benches.append(
+            _partition_bench(
+                f"fig_jagged/JAG-M-OPT/m={m}", "jagged", A_jag, m, "JAG-M-OPT", repeats=1
+            )
+        )
+
+    # hierarchical family: peak instance (paper Figs 3-5), m sweep
+    n_hier = 128 if tiny else 512
+    A_hier = peak(n_hier, seed=0)
+    hier_ms = (16, 64) if tiny else (64, 144, 256, 400)
+    for method in ("HIER-RB", "HIER-RELAXED"):
+        for m in hier_ms:
+            benches.append(
+                _partition_bench(
+                    f"fig_hier/{method}/m={m}", "hierarchical", A_hier, m, method, repeats=5
+                )
+            )
+    return benches
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+def run(profile: str, out_path: Path, min_speedup: float | None) -> int:
+    tiny = profile == "tiny"
+    benches = _kernel_benches(tiny) + _figure_benches(tiny)
+
+    rows = []
+    failures = []
+    for bench in benches:
+        before_s, ref = _time_mode(bench, enabled=False)
+        after_s, opt = _time_mode(bench, enabled=True)
+        identical = bench.key(ref) == bench.key(opt)
+        if not identical:
+            failures.append(bench.name)
+        speedup = before_s / after_s if after_s > 0 else float("inf")
+        rows.append(
+            {
+                "name": bench.name,
+                "family": bench.family,
+                "before_s": round(before_s, 6),
+                "after_s": round(after_s, 6),
+                "speedup": round(speedup, 3),
+                "identical": identical,
+            }
+        )
+        print(
+            f"{bench.name:42s} {before_s * 1e3:9.2f}ms -> {after_s * 1e3:9.2f}ms "
+            f"{speedup:6.2f}x  {'ok' if identical else 'MISMATCH'}"
+        )
+
+    families: dict[str, dict[str, float]] = {}
+    for fam in sorted({r["family"] for r in rows}):
+        fam_rows = [r for r in rows if r["family"] == fam]
+        b = sum(r["before_s"] for r in fam_rows)
+        a = sum(r["after_s"] for r in fam_rows)
+        families[fam] = {
+            "before_s": round(b, 6),
+            "after_s": round(a, 6),
+            "speedup": round(b / a, 3) if a > 0 else float("inf"),
+        }
+        print(f"-- {fam:15s} aggregate {b * 1e3:9.2f}ms -> {a * 1e3:9.2f}ms  {b / a:6.2f}x")
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benches": rows,
+        "families": families,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        print(f"FAIL: non-identical results: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if min_speedup is not None:
+        for fam in ("jagged", "hierarchical"):
+            got = families[fam]["speedup"]
+            if got < min_speedup:
+                print(
+                    f"FAIL: {fam} aggregate speedup {got:.2f}x < {min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--profile",
+        choices=("small", "tiny"),
+        default="small",
+        help="instance sizes: 'small' (default, the committed baseline) or "
+        "'tiny' (CI smoke; seconds)",
+    )
+    ap.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="output JSON path (default: BENCH_core.json at the repo root)",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the jagged and hierarchical figure aggregates reach "
+        "this speedup (e.g. 2.0)",
+    )
+    args = ap.parse_args(argv)
+    return run(args.profile, args.out, args.min_speedup)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ from typing import Union
 
 import numpy as np
 
+from ..perf.cache import LRUCache
+from ..perf.config import cache_budget_bytes, perf_enabled
+from ..perf.counters import _STACK as _OPS
+from ..perf.counters import bump
 from .errors import ParameterError
 
 __all__ = ["PrefixSum1D", "PrefixSum2D", "prefix_1d", "prefix_2d", "as_load_matrix"]
@@ -70,7 +74,7 @@ class PrefixSum1D:
         computed prefix array of length ``n+1`` starting at 0.
     """
 
-    __slots__ = ("P", "n")
+    __slots__ = ("P", "n", "_max_el")
 
     def __init__(self, values: np.ndarray, *, is_prefix: bool = False):
         if is_prefix:
@@ -81,6 +85,7 @@ class PrefixSum1D:
             P = prefix_1d(values)
         self.P = P
         self.n = len(P) - 1
+        self._max_el: int | None = None
 
     @property
     def total(self) -> int:
@@ -92,10 +97,14 @@ class PrefixSum1D:
         return int(self.P[hi] - self.P[lo])
 
     def max_element(self) -> int:
-        """Largest single-element load (the second lower bound of §2.1)."""
-        if self.n == 0:
-            return 0
-        return int(np.max(np.diff(self.P)))
+        """Largest single-element load (the second lower bound of §2.1).
+
+        A pure property of the array, computed once and cached: the ``diff``
+        temporary is not worth re-allocating on every bound evaluation.
+        """
+        if self._max_el is None:
+            self._max_el = int(np.max(np.diff(self.P))) if self.n else 0
+        return self._max_el
 
     def __len__(self) -> int:
         return self.n
@@ -112,7 +121,7 @@ class PrefixSum2D:
     which is the half-open form of the formula in Section 2.1 of the paper.
     """
 
-    __slots__ = ("G", "n1", "n2")
+    __slots__ = ("G", "n1", "n2", "_cache", "_max_el", "_T")
 
     def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
         if is_prefix:
@@ -127,6 +136,15 @@ class PrefixSum2D:
         self.G = G
         self.n1 = G.shape[0] - 1
         self.n2 = G.shape[1] - 1
+        self._cache: LRUCache | None = None
+        self._max_el: int | None = None
+        self._T: "PrefixSum2D | None" = None
+
+    def projection_cache(self) -> LRUCache:
+        """The per-instance projection/boundary-list memo (created lazily)."""
+        if self._cache is None:
+            self._cache = LRUCache(cache_budget_bytes())
+        return self._cache
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -140,18 +158,12 @@ class PrefixSum2D:
 
     def load(self, r0: int, r1: int, c0: int, c1: int) -> int:
         """Load of the half-open rectangle ``[r0, r1) × [c0, c1)``."""
+        if _OPS:
+            bump("load_queries")
         G = self.G
         return int(G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0])
 
-    def axis_prefix(self, axis: int, lo: int = 0, hi: int | None = None) -> np.ndarray:
-        """Prefix array along ``axis`` restricted to band ``[lo, hi)`` of the other axis.
-
-        For ``axis == 0`` this returns the length ``n1+1`` prefix of the row
-        sums of columns ``[lo, hi)`` — i.e. the projection of the band onto
-        the first dimension (paper §3.2: "there is actually no projection to
-        make", the prefix differences suffice).  The result is a fresh array
-        (one vectorized subtraction of two views of ``Γ``).
-        """
+    def _axis_prefix_ref(self, axis: int, lo: int, hi: int | None) -> np.ndarray:
         if axis == 0:
             hi = self.n2 if hi is None else hi
             return self.G[:, hi] - self.G[:, lo]
@@ -160,26 +172,109 @@ class PrefixSum2D:
             return self.G[hi, :] - self.G[lo, :]
         raise ParameterError(f"axis must be 0 or 1, got {axis}")
 
+    def axis_prefix(self, axis: int, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Prefix array along ``axis`` restricted to band ``[lo, hi)`` of the other axis.
+
+        For ``axis == 0`` this returns the length ``n1+1`` prefix of the row
+        sums of columns ``[lo, hi)`` — i.e. the projection of the band onto
+        the first dimension (paper §3.2: "there is actually no projection to
+        make", the prefix differences suffice).  With the perf layer enabled
+        the result is memoized per ``(axis, lo, hi)`` in a bounded LRU and
+        returned *read-only*; otherwise it is a fresh array (one vectorized
+        subtraction of two views of ``Γ``).
+        """
+        if not perf_enabled():
+            return self._axis_prefix_ref(axis, lo, hi)
+        if hi is None:
+            hi = self.n2 if axis == 0 else self.n1
+        key = ("ap", axis, lo, hi)
+        cache = self.projection_cache()
+        if _OPS:
+            bump("proj_queries")
+        hit = cache.get(key)
+        if hit is not None:
+            if _OPS:
+                bump("proj_hits")
+            return hit  # type: ignore[return-value]
+        p = self._axis_prefix_ref(axis, lo, hi)
+        p.flags.writeable = False  # shared across callers: freeze it
+        cache.put(key, p)
+        return p
+
     def band_prefix(self, axis: int, lo: int, hi: int, j0: int, j1: int) -> np.ndarray:
         """Prefix along ``axis`` of the sub-rectangle band.
 
         Like :meth:`axis_prefix` but additionally windowed to ``[j0, j1)``
         along ``axis`` itself and re-based so the first entry is 0.  Used by
-        hierarchical algorithms working on sub-rectangles.
+        hierarchical algorithms working on sub-rectangles.  The full-width
+        window equals :meth:`axis_prefix` exactly (the first row/column of
+        ``Γ`` is zero), so that case is delegated to the memoized projection.
         """
+        if j0 == 0 and perf_enabled():
+            if j1 == (self.n1 if axis == 0 else self.n2):
+                return self.axis_prefix(axis, lo, hi)
+            # axis prefixes start at 0, so no rebase is needed: hand out a
+            # (read-only) view of the memoized projection
+            return self.axis_prefix(axis, lo, hi)[: j1 + 1]  # repro-lint: disable=RPL002
         # the prefix window of half-open [j0, j1) has j1-j0+1 entries
         p = self.axis_prefix(axis, lo, hi)[j0 : j1 + 1]  # repro-lint: disable=RPL002
         return p - p[0]
 
+    def boundary_list(self, axis: int, lo: int = 0, hi: int | None = None) -> list[int]:
+        """List form of :meth:`axis_prefix` — what the probe hot path wants.
+
+        The probe family binary-searches plain Python lists (C-speed
+        ``bisect_right``, see :mod:`repro.oned.probe`); converting an
+        ``ndarray`` costs O(n) per call.  This query converts once per
+        ``(axis, lo, hi)`` and memoizes the list alongside the projection.
+        Callers must treat the returned list as immutable.
+        """
+        p = self.axis_prefix(axis, lo, hi)
+        if not perf_enabled():
+            return p.tolist()
+        if hi is None:
+            hi = self.n2 if axis == 0 else self.n1
+        key = ("bl", axis, lo, hi)
+        cache = self.projection_cache()
+        if _OPS:
+            bump("proj_queries")
+        hit = cache.get(key)
+        if hit is not None:
+            if _OPS:
+                bump("proj_hits")
+            return hit  # type: ignore[return-value]
+        pl = p.tolist()
+        cache.put(key, pl)
+        return pl
+
     def max_element(self) -> int:
-        """Largest single cell load (lower bound ``max A[x][y]`` of §2.1)."""
-        # Reconstruct cell loads from Γ by double differencing; vectorized.
-        d = np.diff(np.diff(self.G, axis=0), axis=1)
-        return int(d.max()) if d.size else 0
+        """Largest single cell load (lower bound ``max A[x][y]`` of §2.1).
+
+        A pure property of ``Γ``, computed once per instance: the double
+        ``np.diff`` allocates two full-matrix temporaries, which the exact
+        algorithms would otherwise re-pay on every lower-bound evaluation.
+        """
+        if self._max_el is None:
+            # Reconstruct cell loads from Γ by double differencing; vectorized.
+            d = np.diff(np.diff(self.G, axis=0), axis=1)
+            self._max_el = int(d.max()) if d.size else 0
+        return self._max_el
 
     def transpose(self) -> "PrefixSum2D":
-        """Prefix of the transposed matrix (for -VER algorithm variants)."""
-        return PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
+        """Prefix of the transposed matrix (for -VER algorithm variants).
+
+        With the perf layer enabled the transposed prefix is built once and
+        reused (the -BEST orientation wrappers and repeated figure sweeps
+        otherwise re-copy ``Γᵀ`` on every call); both directions share the
+        link, so ``pref.transpose().transpose() is pref``.
+        """
+        if not perf_enabled():
+            return PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
+        if self._T is None:
+            T = PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
+            T._T = self
+            self._T = T
+        return self._T
 
 
 MatrixLike = Union[np.ndarray, PrefixSum2D]

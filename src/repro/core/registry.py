@@ -20,6 +20,7 @@ from ..jagged.m_heur import jag_m_heur
 from ..jagged.m_opt import jag_m_opt
 from ..jagged.pq_heur import jag_pq_heur
 from ..jagged.pq_opt import jag_pq_opt
+from ..perf.counters import OpCounters, counting, op_counters
 from ..rectilinear.nicol import rect_nicol
 from ..rectilinear.uniform import rect_uniform
 from .errors import ParameterError
@@ -132,4 +133,11 @@ def partition_2d(A: MatrixLike, m: int, method: str = "JAG-M-HEUR", **kw) -> Par
         raise ParameterError(
             f"unknown algorithm {method!r}; choose from {sorted(ALGORITHMS)}"
         )
+    if counting():
+        # a counter context is open: attach this call's own op counts to the
+        # partition (nested context, so outer contexts still see every event)
+        with op_counters() as ops:
+            part = ALGORITHMS[key](A, m, **kw)
+        part.meta["op_counts"] = OpCounters(ops)
+        return part
     return ALGORITHMS[key](A, m, **kw)

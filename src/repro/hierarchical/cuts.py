@@ -18,7 +18,34 @@ from fractions import Fraction
 
 import numpy as np
 
-__all__ = ["best_weighted_cut", "best_relaxed_split"]
+from ..perf.config import perf_enabled
+from ..perf.counters import _STACK as _OPS
+from ..perf.counters import bump
+
+__all__ = [
+    "best_weighted_cut",
+    "best_weighted_cut_num",
+    "best_weighted_cut_win",
+    "best_relaxed_split",
+    "best_relaxed_split_win",
+]
+
+#: processor count below which the scalar relaxed-split path beats the
+#: vectorized one (small-array numpy call overhead dominates under ~32)
+_SCALAR_MAX_M = 32
+
+#: memoized ``np.arange(1, m)`` split indices — every recursion node with the
+#: same processor count re-needs the identical tiny array
+_J_CACHE: dict = {}
+
+
+def _split_indices(m: int) -> np.ndarray:
+    j = _J_CACHE.get(m)
+    if j is None:
+        j = np.arange(1, m, dtype=np.int64)
+        j.flags.writeable = False
+        _J_CACHE[m] = j
+    return j
 
 
 def best_weighted_cut(
@@ -36,6 +63,8 @@ def best_weighted_cut(
     L = len(bp) - 1
     if L < 2:
         return None
+    if _OPS:
+        bump("cut_calls")
     total = int(bp[-1])
     # integer bp ≤ total·w1/(w1+w2)  ⇔  bp ≤ floor(·): the floor target is exact
     target = (total * w1) // (w1 + w2)
@@ -56,6 +85,86 @@ def best_weighted_cut(
     return best
 
 
+def best_weighted_cut_num(bp: np.ndarray, w1: int, w2: int) -> tuple[int, int] | None:
+    """Integer-numerator twin of :func:`best_weighted_cut`.
+
+    Returns ``(cut, value · w1·w2)`` — the score scaled by the common
+    denominator, as an exact Python int.  ``max(L1/w1, L2/w2)`` compares
+    identically to ``max(L1·w2, L2·w1)`` for any fixed ``(w1, w2)`` pair,
+    and within one recursion node every candidate (either orientation,
+    either dimension) shares the product ``w1·w2``, so the chooser's
+    ordering is bit-identical to the Fraction path — without constructing
+    ~4 normalized Fractions per node.
+    """
+    L = len(bp) - 1
+    if L < 2:
+        return None
+    if _OPS:
+        bump("cut_calls")
+    total = int(bp[-1])
+    target = (total * w1) // (w1 + w2)
+    # method call: the np.searchsorted dispatch wrapper costs ~1.4 µs/call
+    c = int(bp.searchsorted(target, side="right")) - 1
+    best: tuple[int, int] | None = None
+    for cand in (c, c + 1):
+        if cand < 1 or cand > L - 1:
+            continue
+        l1 = int(bp[cand])
+        v = max(l1 * w2, (total - l1) * w1)
+        if best is None or v < best[1]:
+            best = (cand, v)
+    if best is None:
+        cand = min(max(c, 1), L - 1)
+        l1 = int(bp[cand])
+        best = (cand, max(l1 * w2, (total - l1) * w1))
+    return best
+
+
+def best_weighted_cut_win(
+    p: np.ndarray, j0: int, j1: int, orientations: tuple[tuple[int, int], ...]
+) -> tuple[int, int, int, int] | None:
+    """Windowed, orientation-fused twin of :func:`best_weighted_cut_num`.
+
+    Operates directly on the *un-rebased* memoized axis projection ``p``
+    restricted to window ``[j0, j1]`` — the rebased band prefix is
+    ``p[j0:j1+1] - p[j0]``, and shifting every comparison by the constant
+    ``base = p[j0]`` leaves the integer searchsorted and the integer scores
+    unchanged, so no per-node band allocation is needed.  All orientations
+    ``(w1, w2)`` share the window, total and search bounds; the first
+    orientation attaining the minimum wins, matching the sequential
+    first-occurrence rule of the chooser loop.  Returns
+    ``(cut_rel, value · w1·w2, w1, w2)`` or None.
+    """
+    L = j1 - j0
+    if L < 2:
+        return None
+    if _OPS:
+        bump("cut_calls", len(orientations))
+    base = int(p[j0])
+    total = int(p[j1]) - base
+    view = p[j0 : j1 + 1]  # repro-lint: disable=RPL002 — prefix window, not a load slice
+    best: tuple[int, int, int, int] | None = None
+    for w1, w2 in orientations:
+        # integer bp ≤ t  ⇔  p ≤ base + t: the shifted floor target is exact
+        target = base + (total * w1) // (w1 + w2)
+        c = int(view.searchsorted(target, side="right")) - 1
+        found: tuple[int, int] | None = None
+        for cand in (c, c + 1):
+            if cand < 1 or cand > L - 1:
+                continue
+            l1 = int(view[cand]) - base
+            v = max(l1 * w2, (total - l1) * w1)
+            if found is None or v < found[1]:
+                found = (cand, v)
+        if found is None:
+            cand = min(max(c, 1), L - 1)
+            l1 = int(view[cand]) - base
+            found = (cand, max(l1 * w2, (total - l1) * w1))
+        if best is None or found[1] < best[1]:
+            best = (found[0], found[1], w1, w2)
+    return best
+
+
 def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
     """Jointly optimal ``(cut, j, value)`` over all processor splits.
 
@@ -68,9 +177,14 @@ def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
     L = len(bp) - 1
     if L < 2 or m < 2:
         return None
+    if _OPS:
+        bump("cut_calls")
     total = int(bp[-1])
     j = np.arange(1, m, dtype=np.int64)
     targets = (total * j) // m  # exact integer balance targets
+    if perf_enabled() and m <= _SCALAR_MAX_M:
+        lo = bp.searchsorted(targets, side="right") - 1
+        return _relaxed_split_scalar(bp, m, total, lo.tolist(), L)
     lo = np.searchsorted(bp, targets, side="right") - 1
     cuts = np.concatenate([np.clip(lo, 1, L - 1), np.clip(lo + 1, 1, L - 1)])
     jj = np.concatenate([j, j])
@@ -89,3 +203,109 @@ def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
     bal = np.where(near, np.minimum(jj, m - jj), -1)
     k = int(np.argmax(bal))
     return (int(cuts[k]), int(jj[k]), float(val[k]))  # repro-lint: disable=RPL003
+
+
+def best_relaxed_split_win(
+    p: np.ndarray, j0: int, j1: int, m: int
+) -> tuple[int, int, float] | None:
+    """Windowed twin of :func:`best_relaxed_split` on an un-rebased projection.
+
+    Same shifting argument as :func:`best_weighted_cut_win`: the rebased
+    band is ``p[j0:j1+1] - base``, integer searchsorted targets shift by
+    ``base`` exactly, and the float scores are computed from the *same*
+    integers (``l1 = view[cut] - base``), so the chosen ``(cut, j, value)``
+    is bit-identical to rebasing first — without the per-node band copy.
+    """
+    L = j1 - j0
+    if L < 2 or m < 2:
+        return None
+    if _OPS:
+        bump("cut_calls")
+    base = int(p[j0])
+    total = int(p[j1]) - base
+    view = p[j0 : j1 + 1]  # repro-lint: disable=RPL002 — prefix window, not a load slice
+    if m == 2:
+        # a bipartition node — j = 1 is the only split, and roughly half the
+        # nodes of any recursion tree look like this: pure scalar, no numpy
+        # temporaries.  Same candidate order and float scores as the
+        # vectorized path (j/1 division and (m-j) = 1 division are exact).
+        c = int(view.searchsorted(base + total // 2, side="right")) - 1
+        ca = 1 if c < 1 else (L - 1 if c > L - 1 else c)
+        cb = c + 1
+        cb = 1 if cb < 1 else (L - 1 if cb > L - 1 else cb)
+        la = float(int(view[ca]) - base)  # repro-lint: disable=RPL003 — relaxed score
+        lb = float(int(view[cb]) - base)  # repro-lint: disable=RPL003
+        va = la if la > total - la else total - la  # repro-lint: disable=RPL003
+        vb = lb if lb > total - lb else total - lb  # repro-lint: disable=RPL003
+        v = va if va < vb else vb
+        # both candidates tie on processor balance, so argmax keeps the first
+        # candidate within the near-tie threshold
+        if va <= v * (1.0 + 1e-3) + 1e-9:  # repro-lint: disable=RPL003
+            return (ca, 1, va)
+        return (cb, 1, vb)
+    j = _split_indices(m)
+    targets = base + (total * j) // m  # exact shifted integer balance targets
+    lo = view.searchsorted(targets, side="right") - 1
+    if m <= _SCALAR_MAX_M:
+        return _relaxed_split_scalar(view, m, total, lo.tolist(), L, base=base)
+    cuts = np.concatenate([np.clip(lo, 1, L - 1), np.clip(lo + 1, 1, L - 1)])
+    jj = np.concatenate([j, j])
+    # identical integers → identical floats → identical scores (see
+    # best_relaxed_split for the documented RPL003 exemption)
+    l1 = (view[cuts] - base).astype(np.float64)  # repro-lint: disable=RPL003
+    val = np.maximum(l1 / jj, (total - l1) / (m - jj))  # repro-lint: disable=RPL003
+    v = float(val.min())  # repro-lint: disable=RPL003 — reporting boundary
+    near = val <= v * (1.0 + 1e-3) + 1e-9
+    bal = np.where(near, np.minimum(jj, m - jj), -1)
+    k = int(np.argmax(bal))
+    return (int(cuts[k]), int(jj[k]), float(val[k]))  # repro-lint: disable=RPL003
+
+
+def _relaxed_split_scalar(
+    bp: np.ndarray, m: int, total: int, lo: list, L: int, *, base: int = 0
+) -> tuple[int, int, float]:
+    """Scalar twin of the vectorized relaxed split for small ``m``.
+
+    Below ~32 splits the per-call overhead of clip/concatenate/where
+    dominates the vectorized path; most nodes of a recursion tree are deep
+    and small, so this is the common case.  Candidates are enumerated in
+    the exact array order of the vectorized path (all ``lo`` cuts, then all
+    ``lo + 1`` cuts) with the same float arithmetic and the same
+    first-occurrence argmax tie-breaking, so the chosen split is
+    bit-identical.
+    """
+    n = m - 1
+    vals: list = []
+    v = None
+    for off in (0, 1):
+        for idx in range(n):
+            jv = idx + 1
+            cut = lo[idx] + off
+            if cut < 1:
+                cut = 1
+            elif cut > L - 1:
+                cut = L - 1
+            l1 = float(int(bp[cut]) - base)  # repro-lint: disable=RPL003 — relaxed score
+            a = l1 / jv  # repro-lint: disable=RPL003
+            b = (total - l1) / (m - jv)  # repro-lint: disable=RPL003
+            if b > a:
+                a = b
+            vals.append(a)
+            if v is None or a < v:
+                v = a
+    thr = v * (1.0 + 1e-3) + 1e-9  # repro-lint: disable=RPL003
+    best_bal = -1
+    best_i = 0
+    for i, val in enumerate(vals):
+        if val <= thr:
+            jv = i % n + 1
+            bal = jv if jv <= m - jv else m - jv
+            if bal > best_bal:
+                best_bal, best_i = bal, i
+    jv = best_i % n + 1
+    cut = lo[best_i % n] + (1 if best_i >= n else 0)
+    if cut < 1:
+        cut = 1
+    elif cut > L - 1:
+        cut = L - 1
+    return (cut, jv, vals[best_i])

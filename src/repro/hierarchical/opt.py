@@ -20,6 +20,8 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, prefix_2d
 from ..core.rectangle import Rect
+from ..perf.counters import _STACK as _OPS
+from ..perf.counters import bump
 from .tree import HierNode, tree_to_partition
 
 __all__ = ["hier_opt", "hier_opt_bottleneck"]
@@ -45,6 +47,8 @@ class _HierDP:
     # value of the best cut at a fixed dim and processor split, by binary
     # search over the cut (both terms monotone in the cut position)
     def _best_cut(self, r0, r1, c0, c1, dim, j, m) -> tuple[int, int]:
+        if _OPS:
+            bump("cut_calls")
         if dim == 0:
             lo, hi = r0 + 1, r1 - 1
         else:

@@ -25,7 +25,8 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
-from .cuts import best_weighted_cut
+from ..perf.config import perf_enabled
+from .cuts import best_weighted_cut, best_weighted_cut_win
 from .tree import grow_tree, tree_to_partition
 
 __all__ = ["hier_rb", "HIER_VARIANTS"]
@@ -57,11 +58,31 @@ def _rb_chooser(variant: str):
     def choose(pref: PrefixSum2D, rect: Rect, m: int, depth: int):
         m1, m2 = m // 2, m - m // 2
         orientations = ((m1, m2),) if m1 == m2 else ((m1, m2), (m2, m1))
+        # every candidate in this node shares the weight product wl·wr, so
+        # the integer-numerator windowed scores order exactly like the
+        # Fractions of the reference path
+        fast = perf_enabled()
         best = None  # (value, dim, cut_abs, wl, wr)
         dims = _candidate_dims(variant, rect, depth)
         fallback = tuple(d for d in (0, 1) if d not in dims)
         for dim_set in (dims, fallback):
             for dim in dim_set:
+                if fast:
+                    # work on the memoized un-rebased projection directly
+                    if dim == 0:
+                        p = pref.axis_prefix(0, rect.c0, rect.c1)
+                        j0, j1 = rect.r0, rect.r1
+                    else:
+                        p = pref.axis_prefix(1, rect.r0, rect.r1)
+                        j0, j1 = rect.c0, rect.c1
+                    found2 = best_weighted_cut_win(p, j0, j1, orientations)
+                    if found2 is None:
+                        continue
+                    cut_rel, value, wl, wr = found2
+                    cut_abs = (rect.r0 if dim == 0 else rect.c0) + cut_rel
+                    if best is None or value < best[0]:
+                        best = (value, dim, cut_abs, wl, wr)
+                    continue
                 bp = _band(pref, rect, dim)
                 for wl, wr in orientations:
                     found = best_weighted_cut(bp, wl, wr)

@@ -19,7 +19,8 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
-from .cuts import best_relaxed_split
+from ..perf.config import perf_enabled
+from .cuts import best_relaxed_split, best_relaxed_split_win
 from .rb import HIER_VARIANTS, _band, _candidate_dims
 from .tree import grow_tree, tree_to_partition
 
@@ -31,10 +32,20 @@ def _relaxed_chooser(variant: str):
         best = None  # (value, dim, cut_abs, j)
         dims = _candidate_dims(variant, rect, depth)
         fallback = tuple(d for d in (0, 1) if d not in dims)
+        fast = perf_enabled()
         for dim_set in (dims, fallback):
             for dim in dim_set:
-                bp = _band(pref, rect, dim)
-                found = best_relaxed_split(bp, m)
+                if fast:
+                    # windowed split on the memoized un-rebased projection
+                    # (bit-identical to rebasing first; see cuts.py)
+                    if dim == 0:
+                        p = pref.axis_prefix(0, rect.c0, rect.c1)
+                        found = best_relaxed_split_win(p, rect.r0, rect.r1, m)
+                    else:
+                        p = pref.axis_prefix(1, rect.r0, rect.r1)
+                        found = best_relaxed_split_win(p, rect.c0, rect.c1, m)
+                else:
+                    found = best_relaxed_split(_band(pref, rect, dim), m)
                 if found is None:
                     continue
                 cut_rel, j, value = found

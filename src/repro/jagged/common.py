@@ -132,8 +132,9 @@ def oriented(
             return out
         if o == "best":
             hor = fn(pref, m, *args, **kw)
-            vert = fn(pref.transpose(), m, *args, **kw)
-            if vert.max_load(pref.transpose()) < hor.max_load(pref):
+            prefT = pref.transpose()  # hoisted: Γᵀ is a full-matrix copy
+            vert = fn(prefT, m, *args, **kw)
+            if vert.max_load(prefT) < hor.max_load(pref):
                 out = vert.transpose().with_method(vert.method)
                 out.meta["orientation"] = "ver"
                 return out

@@ -86,7 +86,8 @@ def jag_hetero(
     col_cuts = []
     order: list[int] = []
     for s, g in enumerate(groups):
-        band = pref.band_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), 0, pref.n2)
+        # full-width stripe projection: served by the memoized axis_prefix
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
         gs = speeds[g]
         Ts = hetero_makespan(band, gs)
         cc = hetero_cuts(band, gs, Ts * (1 + 1e-12) + 1e-9)

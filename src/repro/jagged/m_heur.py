@@ -144,7 +144,8 @@ def _jag_m_heur_single(
     q = allocate_processors(stripe_loads, m)
     col_cuts = []
     for s in range(P):
-        band = pref.band_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), 0, pref.n2)
+        # full-width stripe projection: served by the memoized axis_prefix
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
         _, cc = solve(band, int(q[s]))
         col_cuts.append(cc)
     return build_jagged_partition(

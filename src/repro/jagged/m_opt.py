@@ -32,6 +32,8 @@ from ..core.partition import Partition
 from ..core.prefix import PrefixSum2D
 from ..oned.bisect import bisect_bottleneck
 from ..oned.probe import min_parts, probe_cuts
+from ..perf.batch import min_parts_batch
+from ..perf.config import perf_enabled
 from .common import build_jagged_partition, oriented
 from .m_heur import _jag_m_heur_main0, allocate_processors
 
@@ -43,16 +45,72 @@ __all__ = [
 
 _INF = np.iinfo(np.int64).max // 4
 
+#: expected-interval threshold above which the jump-table kernel beats the
+#: scalar greedy: the table costs one O(n2) vectorized searchsorted while
+#: the scalar path costs one list bisection per interval actually placed
+_BATCH_MIN_PARTS = 48
 
-def _min_processors(pref: PrefixSum2D, B: int, m_cap: int) -> np.ndarray | None:
+
+def _stripe_min_parts(
+    pref: PrefixSum2D, k: int, i: int, B: int, cap: int, est: int = 1
+) -> int:
+    """Greedy rectangle count for stripe rows ``[k, i)`` at bottleneck ``B``.
+
+    The feasibility DP revisits the same ``(k, i)`` stripes on every
+    bisection iteration; with the perf layer on, the stripe projection is
+    served from the prefix cache instead of re-materializing
+    ``G[i,:] - G[k,:]`` (and re-converting it to a list) per call.
+    ``est`` is the caller's lower bound on the interval count
+    (``ceil(load/B)``): the jump-table kernel only pays off when the greedy
+    walk is long, which ``est`` predicts and ``cap`` does not.
+    """
+    if not perf_enabled():
+        return min_parts(pref.G[i, :] - pref.G[k, :], B, cap=cap)
+    if min(est, cap) >= _BATCH_MIN_PARTS:
+        return min_parts_batch(pref.axis_prefix(1, k, i), B, cap=cap)
+    return min_parts(pref.boundary_list(1, k, i), B, cap=cap)
+
+
+def _memo_bounds(entries: list, B: int) -> tuple[int, int | None]:
+    """Exact bounds on a stripe's part count at bottleneck ``B``.
+
+    ``entries`` holds ``(B', parts', exact')`` triples from earlier
+    evaluations of the same stripe during the bisection.  The greedy count
+    is non-increasing in the bottleneck, so an evaluation at ``B' >= B``
+    lower-bounds the count at ``B`` (capped evaluations are themselves
+    lower bounds, which still transfer), while an *exact* evaluation at
+    ``B' <= B`` upper-bounds it.  Returns ``(lo, hi)`` with ``hi = None``
+    when no upper bound is known; ``lo == hi`` pins the count exactly.
+    """
+    lo = 0
+    hi: int | None = None
+    for Bs, p, exact in entries:
+        if Bs >= B:
+            if p > lo:
+                lo = p
+            if exact and Bs == B and (hi is None or p < hi):
+                hi = p
+        elif exact and (hi is None or p < hi):
+            hi = p
+    return lo, hi
+
+
+def _min_processors(
+    pref: PrefixSum2D, B: int, m_cap: int, memo: dict | None = None
+) -> np.ndarray | None:
     """``f`` array of the minimum-processor DP, or None when ``f > m_cap`` everywhere.
 
     ``f[i]`` = minimum rectangles of load ``<= B`` forming a jagged partition
     of rows ``[0, i)`` (all columns).  Entries above ``m_cap`` are clamped to
-    ``_INF`` (they cannot participate in a feasible solution).
+    ``_INF`` (they cannot participate in a feasible solution).  ``memo``
+    carries ``(k, i) -> [(B', parts', exact')]`` stripe evaluations across
+    bisection iterations (see :func:`_memo_bounds`); the bounds either skip
+    a candidate outright or pin its count without re-running the greedy.
     """
     n1 = pref.n1
-    G = pref.G
+    fast = perf_enabled()
+    if fast and memo is None:
+        memo = {}
     rowsum = pref.axis_prefix(0)  # length n1+1
     f = np.full(n1 + 1, _INF, dtype=np.int64)
     f[0] = 0
@@ -67,19 +125,46 @@ def _min_processors(pref: PrefixSum2D, B: int, m_cap: int) -> np.ndarray | None:
         for k in ks[order]:
             if lb[k] >= best or lb[k] > m_cap:
                 break
-            band = G[i, :] - G[k, :]
-            cap = int(min(best - 1 - f[k], m_cap - f[k]))
+            kk = int(k)
+            cap = int(min(best - 1 - f[kk], m_cap - f[kk]))
             if cap < 1:
                 continue
-            parts = min_parts(band, B, cap=cap)
-            cost = f[k] + parts
+            if fast:
+                key = (kk, i)
+                entries = memo.get(key)  # type: ignore[union-attr]
+                lower = int(lb[k] - fk[k])
+                hi: int | None = None
+                if entries is not None:
+                    lo2, hi = _memo_bounds(entries, B)
+                    if lo2 > lower:
+                        lower = lo2
+                if int(f[kk]) + lower >= best:
+                    continue  # proven unable to improve: skip the greedy
+                if hi is not None and hi == lower:
+                    parts = lower  # bounds met: the count is pinned
+                else:
+                    parts = _stripe_min_parts(pref, kk, i, B, cap, est=lower)
+                    rec = (B, parts, parts <= cap)
+                    if entries is None:
+                        memo[key] = [rec]  # type: ignore[index]
+                    else:
+                        entries.append(rec)
+            else:
+                parts = _stripe_min_parts(pref, kk, i, B, cap)
+            cost = f[kk] + parts
             if parts <= cap and cost < best:
                 best = cost
         f[i] = best
+        if fast and best > m_cap:
+            # f is non-decreasing in i (truncating a partition of [0, i) to
+            # [0, i') never adds rectangles), so one infeasible row decides
+            return None
     return f if f[n1] <= m_cap else None
 
 
-def jag_m_opt_bottleneck(pref: PrefixSum2D, m: int, *, ub: int | None = None) -> int:
+def jag_m_opt_bottleneck(
+    pref: PrefixSum2D, m: int, *, ub: int | None = None, memo: dict | None = None
+) -> int:
     """Optimal m-way jagged bottleneck (main dimension 0) by exact bisection."""
     if m <= 0:
         raise ParameterError("m must be positive")
@@ -88,19 +173,25 @@ def jag_m_opt_bottleneck(pref: PrefixSum2D, m: int, *, ub: int | None = None) ->
         heur = _jag_m_heur_main0(pref, m)
         ub = heur.max_load(pref)
     ub = max(lb, int(ub))
+    if memo is None and perf_enabled():
+        memo = {}  # share stripe evaluations across the bisection iterations
     while lb < ub:
         mid = (lb + ub) // 2
-        if _min_processors(pref, mid, m) is not None:
+        if _min_processors(pref, mid, m, memo) is not None:
             ub = mid
         else:
             lb = mid + 1
     return int(lb)
 
 
-def _backtrack_stripes(pref: PrefixSum2D, B: int, m: int) -> np.ndarray:
+def _backtrack_stripes(
+    pref: PrefixSum2D, B: int, m: int, memo: dict | None = None
+) -> np.ndarray:
     """Stripe cuts of a minimum-processor solution at bottleneck ``B``."""
     n1 = pref.n1
-    G = pref.G
+    fast = perf_enabled()
+    if fast and memo is None:
+        memo = {}
     rowsum = pref.axis_prefix(0)
     f = np.full(n1 + 1, _INF, dtype=np.int64)
     arg = np.zeros(n1 + 1, dtype=np.int64)
@@ -113,14 +204,39 @@ def _backtrack_stripes(pref: PrefixSum2D, B: int, m: int) -> np.ndarray:
         for k in order:
             if lb[k] >= best or lb[k] > m:
                 break
-            band = G[i, :] - G[k, :]
-            cap = int(min(best - 1 - f[k], m - f[k]))
+            kk = int(k)
+            cap = int(min(best - 1 - f[kk], m - f[kk]))
             if cap < 1:
                 continue
-            parts = min_parts(band, B, cap=cap)
-            cost = f[k] + parts
+            if fast:
+                # same memo bounds as _min_processors: they only drop
+                # candidates proven unable to *strictly* improve (or pin
+                # their exact count), so the first-strict-improvement
+                # choice of best_k is unchanged
+                key = (kk, i)
+                entries = memo.get(key)  # type: ignore[union-attr]
+                lower = int(lb[k] - f[kk])
+                hi: int | None = None
+                if entries is not None:
+                    lo2, hi = _memo_bounds(entries, B)
+                    if lo2 > lower:
+                        lower = lo2
+                if int(f[kk]) + lower >= best:
+                    continue
+                if hi is not None and hi == lower:
+                    parts = lower
+                else:
+                    parts = _stripe_min_parts(pref, kk, i, B, cap, est=lower)
+                    rec = (B, parts, parts <= cap)
+                    if entries is None:
+                        memo[key] = [rec]  # type: ignore[index]
+                    else:
+                        entries.append(rec)
+            else:
+                parts = _stripe_min_parts(pref, kk, i, B, cap)
+            cost = f[kk] + parts
             if parts <= cap and cost < best:
-                best, best_k = cost, int(k)
+                best, best_k = cost, kk
         f[i] = best
         arg[i] = best_k
     assert f[n1] <= m, "backtrack called with infeasible bottleneck"
@@ -134,28 +250,27 @@ def _backtrack_stripes(pref: PrefixSum2D, B: int, m: int) -> np.ndarray:
 
 def _jag_m_opt_main0(pref: PrefixSum2D, m: int) -> Partition:
     """Optimal m-way jagged partition (§3.2.2) on main dimension 0."""
-    B = jag_m_opt_bottleneck(pref, m)
-    stripe_cuts = _backtrack_stripes(pref, B, m)
+    memo: dict | None = {} if perf_enabled() else None
+    B = jag_m_opt_bottleneck(pref, m, memo=memo)
+    stripe_cuts = _backtrack_stripes(pref, B, m, memo)
     P = len(stripe_cuts) - 1
     # minimum per-stripe processor counts at bottleneck B
     need = np.empty(P, dtype=np.int64)
     for s in range(P):
-        band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
-        need[s] = min_parts(band, B, cap=m)
+        need[s] = _stripe_min_parts(pref, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), B, m)
     spare = m - int(need.sum())
     assert spare >= 0
     if spare > 0:
         # spread idle processors where they help the within-stripe balance
-        loads = (
-            pref.axis_prefix(0)[stripe_cuts[1:]] - pref.axis_prefix(0)[stripe_cuts[:-1]]
-        )
+        rowsum = pref.axis_prefix(0)
+        loads = rowsum[stripe_cuts[1:]] - rowsum[stripe_cuts[:-1]]
         extra = allocate_processors(loads, spare + P) - 1
         need = need + extra
         while int(need.sum()) > m:  # allocate_processors guarantees == m here
             need[int(np.argmax(need))] -= 1
     col_cuts = []
     for s in range(P):
-        band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
         q = int(need[s])
         # optimal within the stripe (never worse than the greedy B-cuts)
         b = bisect_bottleneck(band, q)

@@ -38,7 +38,8 @@ def jag_pq_heur_cuts(
     _, stripe_cuts = solve(rows, P)
     col_cuts = []
     for s in range(P):
-        band = pref.band_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), 0, pref.n2)
+        # full-width stripe projection: served by the memoized axis_prefix
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
         _, cc = solve(band, Q)
         col_cuts.append(cc)
     return stripe_cuts, col_cuts

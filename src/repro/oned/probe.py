@@ -24,6 +24,9 @@ from bisect import bisect_right
 
 import numpy as np
 
+from ..perf.counters import _STACK as _OPS
+from ..perf.counters import bump
+
 __all__ = ["probe", "probe_cuts", "probe_sliced", "min_parts", "as_boundary_list"]
 
 
@@ -43,6 +46,8 @@ def probe(P, m: int, B: int, lo: int = 0, hi: int | None = None) -> bool:
     Pl = as_boundary_list(P)
     if hi is None:
         hi = len(Pl) - 1
+    if _OPS:  # counting twin: keeps the uncounted loop free of bookkeeping
+        return _probe_counted(Pl, m, B, lo, hi)
     if B < 0:
         return False
     pos = lo
@@ -55,6 +60,30 @@ def probe(P, m: int, B: int, lo: int = 0, hi: int | None = None) -> bool:
             return False
         pos = nxt
     return pos >= hi
+
+
+def _probe_counted(Pl: list, m: int, B: int, lo: int, hi: int) -> bool:
+    """Instrumented twin of :func:`probe`: same decisions, counted steps."""
+    bump("probe_calls")
+    if B < 0:
+        return False
+    pos = lo
+    steps = 0
+    result = pos >= hi
+    for _ in range(m):
+        if pos >= hi:
+            result = True
+            break
+        steps += 1
+        nxt = bisect_right(Pl, Pl[pos] + B, pos, hi + 1) - 1
+        if nxt <= pos:
+            result = False
+            break
+        pos = nxt
+    else:
+        result = pos >= hi
+    bump("probe_steps", steps)
+    return result
 
 
 def probe_cuts(P, m: int, B: int, lo: int = 0, hi: int | None = None) -> np.ndarray | None:

@@ -1,0 +1,43 @@
+"""Hot-path kernel and instrumentation layer (see ``docs/performance.md``).
+
+The paper's headline engineering result is that careful algorithm
+engineering turns exact 1D partitioning from minutes into milliseconds
+(Probe with array slicing, NicolPlus bounding).  This package carries that
+discipline through the 2D algorithms:
+
+* :mod:`repro.perf.config` — a global switch between the optimized kernels
+  and the straight-line reference paths, so the perf-regression harness can
+  measure both and the equality tests can compare them bit for bit.
+* :mod:`repro.perf.cache` — the bounded LRU memo behind
+  :meth:`~repro.core.prefix.PrefixSum2D.axis_prefix` /
+  :meth:`~repro.core.prefix.PrefixSum2D.boundary_list`: stripe projections
+  and their probe-ready list forms are materialized once per (axis, lo, hi)
+  instead of once per probe.
+* :mod:`repro.perf.batch` — vectorized probe kernels: ``probe_batch``
+  evaluates many candidate bottlenecks against one prefix with chained
+  ``np.searchsorted``; ``min_parts_batch`` replaces the scalar greedy with a
+  jump table built by a single vectorized ``searchsorted``.
+* :mod:`repro.perf.counters` — near-zero-overhead operation counters (probe
+  calls, greedy/bisection steps, rectangle-load queries) with a
+  context-manager API; the substrate for ROADMAP's RPL006 complexity
+  budgets (see ``tests/test_complexity.py``).
+"""
+
+from .batch import min_parts_batch, probe_batch
+from .cache import LRUCache
+from .config import cache_budget_bytes, perf_enabled, set_perf_enabled, use_perf
+from .counters import OpCounters, bump, counting, op_counters
+
+__all__ = [
+    "LRUCache",
+    "OpCounters",
+    "bump",
+    "cache_budget_bytes",
+    "counting",
+    "min_parts_batch",
+    "op_counters",
+    "perf_enabled",
+    "probe_batch",
+    "set_perf_enabled",
+    "use_perf",
+]

@@ -1,0 +1,134 @@
+"""Vectorized probe kernels: batched decisions and jump-table greedy counts.
+
+Two kernels, both exact and property-tested against the scalar reference
+implementations in :mod:`repro.oned.probe`:
+
+``probe_batch``
+    Evaluates *many* candidate bottlenecks against one prefix at once.  The
+    greedy probe advances one interval per step; here every still-live
+    candidate advances in lockstep through one chained ``np.searchsorted``
+    per step, so ``K`` candidates cost ``m`` vectorized rounds instead of
+    ``K·m`` scalar binary searches.  Used to pre-narrow the integer
+    bisection bracket in :func:`repro.oned.bisect.bisect_bottleneck`.
+
+``min_parts_batch``
+    The greedy interval count for one bottleneck, computed from a *jump
+    table*: a single vectorized ``searchsorted`` finds, for every boundary
+    at once, the farthest boundary reachable within load ``B``; counting
+    intervals is then a plain pointer walk with no per-step binary search.
+    Wins over the scalar greedy once the interval count is large — exactly
+    the regime of the JAG-M-OPT feasibility scan (paper §3.2.2), its main
+    call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counters import _STACK as _OPS
+from .counters import bump
+
+__all__ = ["probe_batch", "min_parts_batch"]
+
+
+def probe_batch(
+    P: np.ndarray,
+    m: int,
+    Bs: np.ndarray,
+    lo: int = 0,
+    hi: int | None = None,
+) -> np.ndarray:
+    """Vectorized ``probe``: one boolean per candidate bottleneck in ``Bs``.
+
+    ``P`` is a prefix array (``P[0] == 0``); the answer for ``Bs[i]`` equals
+    ``probe(P, m, Bs[i], lo, hi)`` exactly.  All candidates advance in
+    lockstep: each of the at most ``m`` rounds performs one chained
+    ``np.searchsorted`` over the still-live candidates.
+    """
+    arr = np.asarray(P, dtype=np.int64)
+    B = np.atleast_1d(np.asarray(Bs, dtype=np.int64))
+    if hi is None:
+        hi = arr.shape[0] - 1
+    # candidates with a negative bottleneck are infeasible by definition
+    alive = B >= 0
+    pos = np.full(B.shape, lo, dtype=np.int64)
+    rounds = 0
+    items = 0
+    for _ in range(m):
+        run = alive & (pos < hi)
+        if not run.any():
+            break
+        idx = np.flatnonzero(run)
+        targets = arr[pos[idx]] + B[idx]
+        # rightmost boundary with value <= target; the target is >= arr[pos]
+        # so the unrestricted insertion point is already > pos, and clamping
+        # to hi reproduces the [pos, hi] search window of the scalar probe
+        nxt = np.searchsorted(arr, targets, side="right") - 1
+        np.minimum(nxt, hi, out=nxt)
+        stuck = nxt <= pos[idx]  # a single cell exceeds B: candidate fails
+        if stuck.any():
+            alive[idx[stuck]] = False
+        moved = idx[~stuck]
+        pos[moved] = nxt[~stuck]
+        rounds += 1
+        items += int(idx.shape[0])  # repro-lint: disable=RPL001 — op-counter bookkeeping, not a load accumulation
+    if _OPS:
+        bump("probe_batch_calls")
+        bump("searchsorted_calls", rounds)
+        bump("searchsorted_items", items)
+    return alive & (pos >= hi)
+
+
+def min_parts_batch(
+    P: np.ndarray,
+    B: int,
+    lo: int = 0,
+    hi: int | None = None,
+    cap: int | None = None,
+) -> int:
+    """Jump-table twin of :func:`repro.oned.probe.min_parts` (same contract).
+
+    One vectorized ``searchsorted`` computes, for every boundary of the
+    window at once, the farthest boundary reachable within load ``B``; the
+    interval count is then a pointer walk over that table.  Returns
+    ``cap + 1`` past the cap or on an infeasible single cell (``cap=None``
+    raises ``ValueError`` on infeasibility, like the scalar reference).
+    """
+    arr = np.asarray(P, dtype=np.int64)
+    if hi is None:
+        hi = arr.shape[0] - 1
+    limit = cap if cap is not None else (hi - lo) + 1
+    if B < 0:
+        if cap is None:
+            raise ValueError(f"single cell exceeds bottleneck {B}")
+        return limit + 1
+    # the jump-table window covers boundaries lo..hi of the prefix
+    w = arr[lo : hi + 1]  # repro-lint: disable=RPL002 — boundary window, not cells
+    nxt = np.searchsorted(w, w + B, side="right") - 1
+    jump = nxt.tolist()
+    if _OPS:
+        bump("searchsorted_calls")
+        bump("searchsorted_items", hi - lo + 1)
+    end = hi - lo
+    pos = 0
+    parts = 0
+    while pos < end:
+        if parts >= limit:
+            if _OPS:
+                bump("probe_calls")
+                bump("probe_steps", parts)
+            return limit + 1
+        step = jump[pos]
+        if step <= pos:  # single cell exceeds B
+            if cap is None:
+                raise ValueError(f"single cell exceeds bottleneck {B}")
+            if _OPS:
+                bump("probe_calls")
+                bump("probe_steps", parts)
+            return limit + 1
+        pos = step
+        parts += 1
+    if _OPS:
+        bump("probe_calls")
+        bump("probe_steps", parts)
+    return parts

@@ -1,0 +1,109 @@
+"""Byte-budgeted LRU cache behind the prefix-sum projection queries.
+
+The 2D algorithms repeatedly project bands of ``Γ`` onto one axis
+(:meth:`~repro.core.prefix.PrefixSum2D.axis_prefix`) and convert the result
+to the plain-list form the probe hot path wants
+(:meth:`~repro.core.prefix.PrefixSum2D.boundary_list`).  The JAG-M-OPT
+feasibility DP is the worst offender: every bisection iteration touches the
+same ``O(n1²)`` (stripe start, stripe end) bands again.  One bounded memo
+per prefix instance amortizes both the projection subtraction and the
+list conversion across iterations, variants and algorithms.
+
+The cache is bounded by approximate payload *bytes* rather than entry count
+because entries range from a 17-element stripe prefix to a full-width
+boundary list; a count bound would either thrash on small entries or blow
+up on large ones.  Eviction is plain LRU.  Hit/miss/eviction counts are
+kept for the counter layer and the cache tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Tuple
+
+__all__ = ["LRUCache", "sizeof_entry"]
+
+Key = Tuple[Hashable, ...]
+
+#: rough per-element cost of a Python list of ints (pointer + int object)
+_LIST_ELEM_BYTES = 40
+
+
+def sizeof_entry(value: object) -> int:
+    """Approximate payload size in bytes of a cached value."""
+    nbytes = getattr(value, "nbytes", None)  # ndarray
+    if nbytes is not None:
+        return int(nbytes) + 112  # array header
+    if isinstance(value, list):
+        return 56 + _LIST_ELEM_BYTES * len(value)
+    return 64
+
+
+class LRUCache:
+    """A byte-budgeted least-recently-used mapping.
+
+    ``get`` returns ``None`` on a miss (cached values are never ``None``).
+    ``put`` evicts least-recently-used entries until the new entry fits;
+    an entry larger than the whole budget is simply not stored.
+    """
+
+    __slots__ = ("_data", "_sizes", "max_bytes", "nbytes", "hits", "misses", "evictions")
+
+    def __init__(self, max_bytes: int):
+        self._data: OrderedDict[Key, object] = OrderedDict()
+        self._sizes: Dict[Key, int] = {}
+        self.max_bytes = int(max_bytes)
+        self.nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._data
+
+    def get(self, key: Key) -> object | None:
+        """Value for ``key`` (refreshing its recency), or ``None``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Key, value: object) -> None:
+        """Insert ``key`` → ``value``, evicting LRU entries to fit."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            return
+        size = sizeof_entry(value)
+        if size > self.max_bytes:
+            return
+        while self._data and self.nbytes + size > self.max_bytes:
+            old_key, _ = self._data.popitem(last=False)
+            self.nbytes -= self._sizes.pop(old_key)
+            self.evictions += 1
+        self._data[key] = value
+        self._sizes[key] = size
+        self.nbytes += size
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._data.clear()
+        self._sizes.clear()
+        self.nbytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the cache counters and occupancy."""
+        return {
+            "entries": len(self._data),
+            "nbytes": self.nbytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,67 @@
+"""Global switch and sizing knobs for the optimized kernel layer.
+
+Every optimized code path in the repo dispatches on :func:`perf_enabled` and
+keeps the straight-line reference implementation alive next to it.  That
+costs one branch per call, and buys two properties the perf work depends on:
+
+* the perf-regression harness (``benchmarks/perf_regress.py``) can time the
+  *same* entry points before and after, in one process, and
+* the equality tests can assert the optimized kernels produce bit-identical
+  partitions to the reference paths on randomized instances.
+
+The switch defaults to on; ``REPRO_PERF=0`` in the environment turns the
+whole layer off (useful for bisecting a suspected cache bug).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["perf_enabled", "set_perf_enabled", "use_perf", "cache_budget_bytes"]
+
+_ENABLED: bool = os.environ.get("REPRO_PERF", "1").strip().lower() not in {
+    "0",
+    "false",
+    "off",
+    "no",
+}
+
+#: default per-prefix cache budget; enough for the JAG-M-OPT feasibility DP
+#: on the small-profile instances to keep every (stripe start, stripe end)
+#: band resident across all bisection iterations.
+_DEFAULT_CACHE_MB = 64
+
+
+def perf_enabled() -> bool:
+    """True when the optimized kernels are active (default)."""
+    return _ENABLED
+
+
+def set_perf_enabled(on: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(on)
+    return prev
+
+
+@contextmanager
+def use_perf(on: bool) -> Iterator[None]:
+    """Context manager scoping the global switch (used by tests/benchmarks)."""
+    prev = set_perf_enabled(on)
+    try:
+        yield
+    finally:
+        set_perf_enabled(prev)
+
+
+def cache_budget_bytes() -> int:
+    """Per-prefix projection-cache budget in bytes (``REPRO_PERF_CACHE_MB``)."""
+    raw = os.environ.get("REPRO_PERF_CACHE_MB", "").strip()
+    try:
+        mb = int(raw) if raw else _DEFAULT_CACHE_MB
+    except ValueError:
+        mb = _DEFAULT_CACHE_MB
+    return max(1, mb) * 1024 * 1024

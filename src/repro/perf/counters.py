@@ -1,0 +1,81 @@
+"""Near-zero-overhead operation counters for the partitioning hot paths.
+
+The paper states per-algorithm complexity bounds (Probe ``O(m log n)``,
+JAG-M-HEUR ``O(n + m log n)``, HIER-RB ``O(m log max(n1, n2))``, §2–3) and
+ROADMAP's RPL006 open item wants those bounds *checked* by counting the
+operations that dominate them.  This module is that substrate.
+
+Design: a module-level stack of active :class:`OpCounters`.  When the stack
+is empty — the common case — instrumented call sites pay exactly one
+truthiness test on a list (they import the stack object directly); the
+counting twins of the innermost loops are only entered while a counter
+context is open, so the greedy/bisection hot loops carry no per-iteration
+overhead in normal runs.
+
+Usage::
+
+    with op_counters() as ops:
+        partition_2d(A, m, "JAG-M-HEUR")
+    assert ops["probe_steps"] <= 8 * (n + m * ceil(log2(n + 1)))
+
+Counter names used across the repo:
+
+``probe_calls`` / ``probe_steps``
+    Probe-family invocations and their greedy binary-search steps
+    (``bisect_right`` or jump-table hops — one step per interval placed).
+``probe_batch_calls`` / ``searchsorted_calls`` / ``searchsorted_items``
+    Vectorized kernel invocations, chained ``np.searchsorted`` rounds, and
+    total candidate items those rounds evaluated.
+``cut_calls``
+    Hierarchical cut-selection evaluations (weighted or relaxed).
+``load_queries``
+    O(1) rectangle-load queries against ``Γ``.
+``proj_queries`` / ``proj_hits``
+    Stripe-projection / boundary-list requests and how many were served
+    from the :class:`~repro.perf.cache.LRUCache`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["OpCounters", "op_counters", "counting", "bump"]
+
+
+class OpCounters(Dict[str, int]):
+    """A ``dict`` of counter name → count; missing names read as 0."""
+
+    def __missing__(self, key: str) -> int:
+        return 0
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self.items() if k.startswith(prefix))
+
+
+#: Active counter contexts, innermost last.  Hot paths import this object
+#: directly and test its truthiness before doing any counting work.
+_STACK: list[OpCounters] = []
+
+
+def counting() -> bool:
+    """True when at least one counter context is open."""
+    return bool(_STACK)
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` in every open context."""
+    for c in _STACK:
+        c[name] = c.get(name, 0) + n
+
+
+@contextmanager
+def op_counters() -> Iterator[OpCounters]:
+    """Open a counter context; nested contexts each see all events."""
+    c = OpCounters()
+    _STACK.append(c)
+    try:
+        yield c
+    finally:
+        _STACK.remove(c)
