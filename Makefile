@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint ruff mypy test bench-json bench-smoke
+.PHONY: check lint ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -38,3 +38,11 @@ bench-json:
 # optimized paths return bit-identical results
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --profile tiny
+
+# parallel family: serial vs the repro.parallel layer at 1/2/4 workers,
+# asserting bit-identical rectangles; writes BENCH_parallel.json
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --parallel
+
+bench-parallel-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --parallel --profile tiny

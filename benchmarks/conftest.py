@@ -21,6 +21,30 @@ from repro.experiments.scale import current_scale
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for figure cells (CSVs are byte-identical for any N)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _parallel_jobs(request):
+    """Mirror of ``repro-experiments --jobs``: scope the parallel layer to the run."""
+    jobs = request.config.getoption("--jobs")
+    if jobs <= 1:
+        yield
+        return
+    from repro.parallel.config import use_parallel
+    from repro.parallel.pool import shutdown_pool
+
+    with use_parallel(True, workers=jobs):
+        yield
+    shutdown_pool()
+
+
 @pytest.fixture(scope="session")
 def scale():
     return current_scale()

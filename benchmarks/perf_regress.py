@@ -20,12 +20,22 @@ plus per-family aggregates.  Run via ``make bench-json`` (full) or ``make
 bench-smoke`` (the ``tiny`` profile CI uses).  Exits non-zero if any bench
 produced a non-identical result, or — with ``--min-speedup`` — if a figure
 family misses the requested aggregate speedup.
+
+``--parallel`` runs the *parallel* family instead: each algorithm with a
+multicore backend (stripe-parallel jagged phase 2, subtree-parallel
+hierarchical growth) is timed serially and under ``repro.parallel`` with
+1, 2 and 4 workers, the rectangles are asserted bit-identical at every
+worker count, and ``BENCH_parallel.json`` is written.  Identity is the
+gate; the recorded speedups are honest (on a 1-CPU box they are < 1 —
+the JSON records ``cpu_count`` so readers can tell).  Run via ``make
+bench-parallel`` / ``make bench-parallel-smoke``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -41,6 +51,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.prefix import PrefixSum2D  # noqa: E402
 from repro.core.registry import partition_2d  # noqa: E402
 from repro.instances import peak, uniform  # noqa: E402
+from repro.jagged.hetero import jag_hetero  # noqa: E402
 from repro.oned.bisect import bisect_bottleneck, feasible_bottlenecks  # noqa: E402
 from repro.oned.probe import min_parts  # noqa: E402
 from repro.perf import min_parts_batch, perf_enabled, use_perf  # noqa: E402
@@ -199,6 +210,143 @@ def _figure_benches(tiny: bool) -> list[Bench]:
 
 
 # ---------------------------------------------------------------------------
+# parallel family
+
+#: worker counts the parallel family sweeps (1 == the serial short-circuit)
+PARALLEL_WORKERS = (1, 2, 4)
+
+
+def _parallel_benches(tiny: bool) -> list[Bench]:
+    """One bench per multicore backend, sized so dispatch has real work."""
+    n_jag = 128 if tiny else 512
+    A_jag = uniform(n_jag, 1.3, seed=0)
+    n_hier = 128 if tiny else 512
+    A_hier = peak(n_hier, seed=0)
+    m = 16 if tiny else 64
+    speeds = np.array([1.0, 1.0, 2.0, 3.0, 1.5, 1.0, 2.0, 1.0])
+    repeats = 3
+    benches = [
+        _partition_bench(
+            f"par_jagged/{method}/m={m}", "parallel", A_jag, m, method, repeats
+        )
+        for method in ("JAG-PQ-HEUR", "JAG-M-HEUR")
+    ]
+    benches.append(
+        Bench(
+            name="par_jagged/jag_hetero/p=8",
+            family="parallel",
+            setup=lambda: PrefixSum2D(A_jag),
+            call=lambda pref: jag_hetero(pref, speeds),
+            key=lambda part: part.rects,
+            repeats=repeats,
+        )
+    )
+    benches += [
+        _partition_bench(
+            f"par_hier/{method}/m={m}", "parallel", A_hier, m, method, repeats
+        )
+        for method in ("HIER-RB", "HIER-RELAXED")
+    ]
+    return benches
+
+
+def _time_serial(bench: Bench) -> tuple[float, Any]:
+    """Best-of-N wall-clock with the parallel layer off (the reference)."""
+    best = float("inf")
+    result = None
+    for _ in range(bench.repeats):
+        state = bench.setup()
+        t0 = time.perf_counter()
+        result = bench.call(state)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_parallel(profile: str, out_path: Path) -> int:
+    """Time the parallel family at each worker count; identity is the gate."""
+    from repro.parallel import shutdown_pool, use_parallel
+
+    tiny = profile == "tiny"
+    benches = _parallel_benches(tiny)
+    cpu_count = os.cpu_count() or 1
+    print(f"# parallel family: workers {PARALLEL_WORKERS}, cpu_count={cpu_count}")
+    if cpu_count < 2:
+        print("# NOTE: single-CPU machine — speedups < 1 expected; identity still gates")
+
+    prev_min_cells = os.environ.get("REPRO_PARALLEL_MIN_CELLS")
+    os.environ["REPRO_PARALLEL_MIN_CELLS"] = "0"  # always dispatch: we gate identity
+    rows = []
+    failures = []
+    try:
+        for bench in benches:
+            serial_s, ref = _time_serial(bench)
+            ref_key = bench.key(ref)
+            per_workers: dict[str, dict[str, Any]] = {}
+            identical = True
+            for w in PARALLEL_WORKERS:
+                with use_parallel(True, workers=w):
+                    best = float("inf")
+                    result = None
+                    for _ in range(bench.repeats):
+                        state = bench.setup()
+                        t0 = time.perf_counter()
+                        result = bench.call(state)
+                        best = min(best, time.perf_counter() - t0)
+                same = bench.key(result) == ref_key
+                identical = identical and same
+                per_workers[str(w)] = {
+                    "time_s": round(best, 6),
+                    "speedup": round(serial_s / best, 3) if best > 0 else float("inf"),
+                    "identical": same,
+                }
+            if not identical:
+                failures.append(bench.name)
+            rows.append(
+                {
+                    "name": bench.name,
+                    "family": bench.family,
+                    "serial_s": round(serial_s, 6),
+                    "workers": per_workers,
+                    "identical": identical,
+                }
+            )
+            times = "  ".join(
+                f"w={w}:{per_workers[str(w)]['time_s'] * 1e3:8.2f}ms"
+                f"({per_workers[str(w)]['speedup']:.2f}x)"
+                for w in PARALLEL_WORKERS
+            )
+            print(
+                f"{bench.name:34s} serial {serial_s * 1e3:8.2f}ms  {times}  "
+                f"{'ok' if identical else 'MISMATCH'}"
+            )
+    finally:
+        shutdown_pool()
+        if prev_min_cells is None:
+            os.environ.pop("REPRO_PARALLEL_MIN_CELLS", None)
+        else:
+            os.environ["REPRO_PARALLEL_MIN_CELLS"] = prev_min_cells
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --parallel",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "workers_swept": list(PARALLEL_WORKERS),
+        "benches": rows,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print(f"FAIL: non-identical results: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 
@@ -283,8 +431,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_core.json",
-        help="output JSON path (default: BENCH_core.json at the repo root)",
+        default=None,
+        help="output JSON path (default: BENCH_core.json at the repo root, "
+        "BENCH_parallel.json with --parallel)",
     )
     ap.add_argument(
         "--min-speedup",
@@ -293,8 +442,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the jagged and hierarchical figure aggregates reach "
         "this speedup (e.g. 2.0)",
     )
+    ap.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the parallel family instead: serial vs the repro.parallel "
+        "layer at 1/2/4 workers, asserting bit-identical rectangles",
+    )
     args = ap.parse_args(argv)
-    return run(args.profile, args.out, args.min_speedup)
+    if args.parallel:
+        out = args.out or REPO_ROOT / "BENCH_parallel.json"
+        return run_parallel(args.profile, out)
+    out = args.out or REPO_ROOT / "BENCH_core.json"
+    return run(args.profile, out, args.min_speedup)
 
 
 if __name__ == "__main__":

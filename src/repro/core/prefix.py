@@ -121,7 +121,9 @@ class PrefixSum2D:
     which is the half-open form of the formula in Section 2.1 of the paper.
     """
 
-    __slots__ = ("G", "n1", "n2", "_cache", "_max_el", "_T")
+    # __weakref__ lets repro.parallel.shm key exported shared-memory segments
+    # to the prefix's lifetime (weakref.finalize unlinks on collection)
+    __slots__ = ("G", "n1", "n2", "_cache", "_max_el", "_T", "__weakref__")
 
     def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
         if is_prefix:

@@ -11,8 +11,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
+from ..parallel.config import use_parallel
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
 from .scale import get_scale
@@ -56,7 +58,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="write the Figure 1/Figure 2 image gallery (PPM) into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for figure cells and per-algorithm dispatch "
+        "(default 1 = serial; outputs are byte-identical for any N)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     figs = sorted(ALL_RUNNABLE) if args.all else (args.figures or [])
     if not figs and args.gallery is None:
         parser.error("choose figures with --figures, run --all, or use --gallery")
@@ -67,15 +79,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"# wrote {path}", file=sys.stderr)
     scale = get_scale(args.scale)
     print(f"# scale profile: {scale.name}", file=sys.stderr)
-    for fig in figs:
-        t0 = time.perf_counter()
-        result = ALL_RUNNABLE[fig](scale)
-        dt = time.perf_counter() - t0
-        print(result.to_table())
-        print(f"# generated in {dt:.1f}s\n", file=sys.stderr)
-        if args.out is not None:
-            path = result.to_csv(args.out / f"{fig}.csv")
-            print(f"# wrote {path}", file=sys.stderr)
+    # every figure is deterministic and pmap preserves item order, so the
+    # tables and CSVs below are byte-identical for any --jobs value
+    ctx = use_parallel(True, workers=args.jobs) if args.jobs > 1 else nullcontext()
+    with ctx:
+        for fig in figs:
+            t0 = time.perf_counter()
+            result = ALL_RUNNABLE[fig](scale)
+            dt = time.perf_counter() - t0
+            print(result.to_table())
+            print(f"# generated in {dt:.1f}s\n", file=sys.stderr)
+            if args.out is not None:
+                path = result.to_csv(args.out / f"{fig}.csv")
+                print(f"# wrote {path}", file=sys.stderr)
+    if args.jobs > 1:
+        from ..parallel.pool import shutdown_pool
+
+        shutdown_pool()
     return 0
 
 

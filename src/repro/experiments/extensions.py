@@ -11,6 +11,10 @@
   JAG-M-HEUR against the paper's √m default (the Figure 13 weak spots).
 * :func:`ext4_volume_3d` — the 2D algorithms' 3D lifts on a 3D PIC-like
   load volume.
+* :func:`ext5_registry_coverage` — every registry entry the paper's figures
+  leave out (exact methods, orientation variants, §3.4 spiral schemes) on a
+  tiny common instance, so the RPL007 lint gate holds: no registered
+  algorithm goes unmeasured.
 
 All return :class:`~repro.experiments.harness.FigureResult` like the paper
 figures and are exercised by ``benchmarks/bench_ext_experiments.py``.
@@ -24,6 +28,7 @@ from ..core.metrics import communication_volume, migration_volume
 from ..core.prefix import PrefixSum2D
 from ..core.registry import ALGORITHMS
 from ..dynamic import IncrementalJagged
+from ..instances import peak
 from ..jagged.m_heur import jag_m_heur
 from ..volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
 from .figures import HEURISTICS, _pic_dataset
@@ -35,6 +40,7 @@ __all__ = [
     "ext2_migration_tradeoff",
     "ext3_stripe_autotuning",
     "ext4_volume_3d",
+    "ext5_registry_coverage",
     "ALL_EXTENSIONS",
 ]
 
@@ -144,10 +150,59 @@ def ext4_volume_3d(scale=None) -> FigureResult:
     return res
 
 
+#: registry entries no paper figure reaches (RPL007): the exact methods the
+#: paper caps or omits, the §3.4 spiral schemes, and the explicit orientation
+#: variants of the jagged algorithms (§4.1; the figures use the -BEST default)
+_UNCOVERED_ENTRIES = (
+    "HIER-OPT",
+    "SPIRAL-RELAXED",
+    "SPIRAL-OPT",
+    "JAG-PQ-HEUR-HOR",
+    "JAG-PQ-HEUR-VER",
+    "JAG-PQ-HEUR-BEST",
+    "JAG-PQ-OPT-HOR",
+    "JAG-PQ-OPT-VER",
+    "JAG-PQ-OPT-BEST",
+    "JAG-M-HEUR-HOR",
+    "JAG-M-HEUR-VER",
+    "JAG-M-HEUR-BEST",
+    "JAG-M-OPT-HOR",
+    "JAG-M-OPT-VER",
+    "JAG-M-OPT-BEST",
+)
+
+
+def ext5_registry_coverage(scale=None) -> FigureResult:
+    """Imbalance of every otherwise-unexercised registry entry vs m.
+
+    Closes the registry↔experiments coverage gap RPL007 guards: the exact
+    methods (HIER-OPT and the jagged -OPT variants are exponential-ish in
+    cost, so the figures cap or skip them), the §3.4 spiral schemes, and the
+    explicit -HOR/-VER/-BEST orientations all run on one tiny Peak instance.
+    Doubles as a sanity check: every exact method must beat or match its
+    heuristic on the common instance (asserted in ``tests/test_experiments.py``).
+    """
+    sc = get_scale(scale)
+    n = min(sc.n_peak, 20)  # exact DPs: keep the common instance tiny
+    pref = PrefixSum2D(peak(n, seed=0))
+    res = FigureResult(
+        "ext5",
+        f"Registry coverage sweep on {n}x{n} Peak",
+        "m",
+        "load imbalance",
+        notes=f"scale={sc.name}; entries no paper figure exercises (RPL007)",
+    )
+    for m in (2, 4, 6):
+        for name in _UNCOVERED_ENTRIES:
+            res.add(name, m, ALGORITHMS[name](pref, m).imbalance(pref))
+    return res
+
+
 #: extension id -> callable
 ALL_EXTENSIONS = {
     "ext1": ext1_comm_volume,
     "ext2": ext2_migration_tradeoff,
     "ext3": ext3_stripe_autotuning,
     "ext4": ext4_volume_3d,
+    "ext5": ext5_registry_coverage,
 }

@@ -18,6 +18,7 @@ from ..core.registry import ALGORITHMS
 from ..instances import diagonal, multi_peak, peak, slac_instance, uniform
 from ..instances.pic import PICMagDataset
 from ..jagged.m_heur import jag_m_heur
+from ..parallel.pool import pmap
 from ..theory.bounds import theorem3_ratio
 from .harness import FigureResult, timed
 from .scale import Scale, get_scale
@@ -55,19 +56,41 @@ def _pic_dataset(sc: Scale) -> PICMagDataset:
     )
 
 
+#: instance families the averaged synthetic figures draw from, named by a
+#: picklable ``(family, n)`` spec so the per-seed cells can run in pool workers
+_INSTANCE_FAMILIES = {
+    "peak": peak,
+    "multi_peak": multi_peak,
+}
+
+
+def _imbalance_cell(payload) -> tuple[int, float]:
+    """One seeded (instance, algorithm, m) cell: ``(Lmax, Lavg)``.
+
+    Top-level and driven by a picklable payload so ``repro-experiments
+    --jobs N`` can fan the cells of a figure out over the worker pool.
+    """
+    family, n, seed, algo, m, kw = payload
+    A = _INSTANCE_FAMILIES[family](n, seed=seed)
+    pref = PrefixSum2D(A)
+    part = ALGORITHMS[algo](pref, m, **kw)
+    return part.max_load(pref), pref.total / m
+
+
 def _avg_imbalance(
-    make_instance, seeds: int, algo: str, m: int, **kw
+    spec: tuple[str, int], seeds: int, algo: str, m: int, **kw
 ) -> float:
-    """Paper's synthetic-dataset metric: ``sum_I Lmax(I) / sum_I Lavg(I) - 1``."""
-    lmax_sum = 0
+    """Paper's synthetic-dataset metric: ``sum_I Lmax(I) / sum_I Lavg(I) - 1``.
+
+    ``spec`` names the instance family and size, e.g. ``("peak", 1024)``.
+    The cells are independent; :func:`~repro.parallel.pool.pmap` preserves
+    seed order, so the float reduction is bit-identical for any worker count.
+    """
+    cells = pmap(_imbalance_cell, [(spec[0], spec[1], s, algo, m, kw) for s in range(seeds)])
+    lmax_sum = sum(lmax for lmax, _ in cells)
     lavg_sum = 0.0
-    fn = ALGORITHMS[algo]
-    for s in range(seeds):
-        A = make_instance(s)
-        pref = PrefixSum2D(A)
-        part = fn(pref, m, **kw)
-        lmax_sum += part.max_load(pref)
-        lavg_sum += pref.total / m
+    for _, lavg in cells:
+        lavg_sum += lavg
     return lmax_sum / lavg_sum - 1.0
 
 
@@ -91,7 +114,7 @@ def fig03_hier_rb_variants(scale=None) -> FigureResult:
     for m in sc.m_values:
         for variant in ("LOAD", "DIST", "HOR", "VER"):
             v = _avg_imbalance(
-                lambda s: peak(sc.n_peak, seed=s), sc.seeds, f"HIER-RB-{variant}", m
+                ("peak", sc.n_peak), sc.seeds, f"HIER-RB-{variant}", m
             )
             res.add(f"HIER-RB-{variant}", m, v)
     return res
@@ -117,7 +140,7 @@ def fig04_hier_relaxed_variants(scale=None) -> FigureResult:
     for m in sc.m_values:
         for variant in ("LOAD", "DIST", "HOR", "VER"):
             v = _avg_imbalance(
-                lambda s: multi_peak(sc.n_multipeak, seed=s),
+                ("multi_peak", sc.n_multipeak),
                 sc.seeds,
                 f"HIER-RELAXED-{variant}",
                 m,
@@ -177,7 +200,7 @@ def fig06_runtime(scale=None) -> FigureResult:
         for name in HEURISTICS:
             # best of 3: one-shot wall clocks of millisecond heuristics are
             # noisy under concurrent load
-            dt = min(timed(ALGORITHMS[name], pref, m)[0] for _ in range(3))
+            dt, _ = timed(ALGORITHMS[name], pref, m, repeats=3)
             res.add(name, m, dt)
         if m <= sc.m_cap_pq_opt:
             dt, _ = timed(ALGORITHMS["JAG-PQ-OPT"], pref, m)

@@ -3,7 +3,10 @@
 Each figure function returns a :class:`FigureResult`: named series of (x, y)
 points plus labels — exactly the rows/series the paper plots.  The harness
 renders them as an aligned text table (what the benchmark suite prints) and
-as CSV (what EXPERIMENTS.md is generated from).
+as CSV (what EXPERIMENTS.md is generated from); :meth:`FigureResult.from_csv`
+reads the CSV back, so the two formats round-trip.  Missing cells (a series
+with no point at some x, e.g. a capped optimal algorithm) are rendered with
+the single :data:`MISSING` sentinel in both formats.
 """
 
 from __future__ import annotations
@@ -15,7 +18,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-__all__ = ["FigureResult", "timed"]
+__all__ = ["FigureResult", "timed", "MISSING"]
+
+#: rendering of a missing cell — a series with no point at some x — in both
+#: the text table and the CSV (one sentinel, so the formats agree and
+#: :meth:`FigureResult.from_csv` can distinguish "absent" from any value)
+MISSING = "-"
 
 
 @dataclass
@@ -59,12 +67,16 @@ class FigureResult:
             out.write(xs.rjust(xw))
             for n, w in zip(names, widths):
                 v = lookup[n].get(x)
-                out.write("  " + (f"{v:.4f}".rjust(w) if v is not None else "-".rjust(w)))
+                out.write("  " + (f"{v:.4f}" if v is not None else MISSING).rjust(w))
             out.write("\n")
         return out.getvalue()
 
     def to_csv(self, path: str | Path) -> Path:
-        """Write the table as CSV (x column + one column per series)."""
+        """Write the table as CSV (x column + one column per series).
+
+        ``repr`` of a float round-trips exactly in Python 3, so
+        :meth:`from_csv` recovers the series bit-identically.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         names = list(self.series)
@@ -73,15 +85,62 @@ class FigureResult:
             w = csv.writer(fh)
             w.writerow([self.xlabel] + names)
             for x in self.xs():
-                w.writerow([x] + [lookup[n].get(x, "") for n in names])
+                w.writerow([repr(x)] + [
+                    repr(v) if (v := lookup[n].get(x)) is not None else MISSING
+                    for n in names
+                ])
         return path
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        *,
+        fig: str = "",
+        title: str = "",
+        ylabel: str = "",
+        notes: str = "",
+    ) -> "FigureResult":
+        """Read a :meth:`to_csv` file back into a result.
+
+        The CSV stores only the x label and the series; the other labels are
+        not part of the format and default to empty unless passed in.
+        :data:`MISSING` cells are restored as absent points.
+        """
+        path = Path(path)
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        if not rows or not rows[0]:
+            raise ValueError(f"{path}: not a FigureResult CSV (empty or no header)")
+        xlabel, names = rows[0][0], rows[0][1:]
+        res = cls(fig, title, xlabel, ylabel, notes=notes)
+        for row in rows[1:]:
+            x = float(row[0])
+            for name, cell in zip(names, row[1:]):
+                if cell != MISSING:
+                    res.add(name, x, float(cell))
+        return res
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_table()
 
 
-def timed(fn: Callable, *args, **kw) -> tuple[float, object]:
-    """Wall-clock a call; returns ``(seconds, result)``."""
+def timed(fn: Callable, *args, repeats: int = 1, **kw) -> tuple[float, object]:
+    """Wall-clock a call; returns ``(seconds, result)``.
+
+    With ``repeats > 1`` the call is repeated and the *best* wall-clock time
+    is reported (the standard way to time millisecond-scale deterministic
+    code under concurrent load: the minimum is the run with the least
+    interference).  The result of the first call is returned — the
+    algorithms are deterministic, so every repeat computes the same value.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     t0 = time.perf_counter()
     out = fn(*args, **kw)
-    return time.perf_counter() - t0, out
+    best = time.perf_counter() - t0
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        fn(*args, **kw)
+        best = min(best, time.perf_counter() - t0)
+    return best, out

@@ -25,6 +25,7 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
+from ..parallel.backends import parallel_grow_tree
 from ..perf.config import perf_enabled
 from .cuts import best_weighted_cut, best_weighted_cut_win
 from .tree import grow_tree, tree_to_partition
@@ -114,5 +115,9 @@ def hier_rb(A: MatrixLike, m: int, variant: str = "load") -> Partition:
     if variant not in HIER_VARIANTS:
         raise ParameterError(f"unknown variant {variant!r}; choose from {HIER_VARIANTS}")
     pref = prefix_2d(A)
-    root = grow_tree(pref, m, _rb_chooser(variant))
+    # subtrees are independent (§3.3): the parallel layer may expand them in
+    # worker processes, bit-identical to the serial reference growth
+    root = parallel_grow_tree(pref, m, "rb", variant)
+    if root is None:
+        root = grow_tree(pref, m, _rb_chooser(variant))
     return tree_to_partition(root, pref, f"HIER-RB-{variant.upper()}", m)

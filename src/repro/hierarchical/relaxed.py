@@ -19,6 +19,7 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
+from ..parallel.backends import parallel_grow_tree
 from ..perf.config import perf_enabled
 from .cuts import best_relaxed_split, best_relaxed_split_win
 from .rb import HIER_VARIANTS, _band, _candidate_dims
@@ -74,5 +75,9 @@ def hier_relaxed(A: MatrixLike, m: int, variant: str = "load") -> Partition:
     if variant not in HIER_VARIANTS:
         raise ParameterError(f"unknown variant {variant!r}; choose from {HIER_VARIANTS}")
     pref = prefix_2d(A)
-    root = grow_tree(pref, m, _relaxed_chooser(variant))
+    # subtrees are independent (§3.3): the parallel layer may expand them in
+    # worker processes, bit-identical to the serial reference growth
+    root = parallel_grow_tree(pref, m, "relaxed", variant)
+    if root is None:
+        root = grow_tree(pref, m, _relaxed_chooser(variant))
     return tree_to_partition(root, pref, f"HIER-RELAXED-{variant.upper()}", m)

@@ -36,7 +36,17 @@ __all__ = [
 
 #: packages whose modules are "hot path" for the prefix-sum / integer rules
 HOT_PACKAGES = frozenset(
-    {"oned", "jagged", "rectilinear", "hierarchical", "spiral", "volume", "dynamic", "perf"}
+    {
+        "oned",
+        "jagged",
+        "rectilinear",
+        "hierarchical",
+        "spiral",
+        "volume",
+        "dynamic",
+        "perf",
+        "parallel",
+    }
 )
 #: packages additionally covered by the interval-convention and mutation rules
 CORE_PACKAGES = HOT_PACKAGES | {"core"}

@@ -1,4 +1,4 @@
-"""The repro ruleset: RPL001–RPL005.
+"""The repro ruleset: RPL001–RPL005 and RPL007.
 
 Each rule encodes one invariant the paper's algorithms rely on; see
 ``docs/lint.md`` for the catalogue with worked examples.
@@ -27,6 +27,7 @@ __all__ = [
     "IntegerLoadRule",
     "RegistryRule",
     "NoInputMutationRule",
+    "ExperimentsCoverageRule",
     "check_registry",
     "ALL_RULES",
     "ALL_PROJECT_RULES",
@@ -504,6 +505,123 @@ class RegistryRule(ProjectRule):
         return 1
 
 
+class ExperimentsCoverageRule(ProjectRule):
+    """RPL007 — every registry entry is exercised by at least one experiment.
+
+    A registered algorithm nobody runs is a reproduction gap: its behavior is
+    asserted by unit tests but never measured against the paper.  The rule
+    statically collects, from the modules of the ``experiments`` package,
+
+    * exact string constants (``ALGORITHMS["JAG-M-HEUR"]``-style lookups and
+      name tuples like ``HEURISTICS``), excluding docstrings;
+    * leading constant prefixes of f-strings (``f"HIER-RB-{variant}"``
+      covers every ``HIER-RB-*`` variant);
+    * referenced identifiers, matched against each entry's unwrapped
+      implementation name (``jag_m_heur(...)`` called directly covers every
+      entry that unwraps to ``jag_m_heur``);
+
+    and reports each :data:`~repro.core.registry.ALGORITHMS` entry none of
+    them reach.  Like RPL004 it runs only when the linted tree contains the
+    registry, and skips quietly when the experiments package is not part of
+    the linted file set (e.g. single-file invocations).
+    """
+
+    code = "RPL007"
+    name = "experiments-coverage"
+    rationale = (
+        "every ALGORITHMS entry must be exercised by at least one "
+        "figure/extension experiment, by name or by implementation reference"
+    )
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Violation]:
+        registry_ctx = next(
+            (
+                ctx
+                for ctx in files
+                if ctx.path.as_posix().endswith("repro/core/registry.py")
+            ),
+            None,
+        )
+        exp_files = [ctx for ctx in files if "experiments" in ctx.package_parts()]
+        if registry_ctx is None or not exp_files:
+            return
+        from ..core.registry import ALGORITHMS
+
+        strings: set[str] = set()
+        prefixes: set[str] = set()
+        idents: set[str] = set()
+        for ctx in exp_files:
+            docstrings = self._docstring_ids(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    if id(node) not in docstrings:
+                        strings.add(node.value)
+                elif isinstance(node, ast.JoinedStr):
+                    first = node.values[0] if node.values else None
+                    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                        prefixes.add(first.value)
+                elif isinstance(node, ast.Name):
+                    idents.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    idents.add(node.attr)
+        prefixes.discard("")
+        line = RegistryRule._algorithms_line(registry_ctx)
+        for name in sorted(ALGORITHMS):
+            if name in strings:
+                continue
+            if any(name.startswith(p) for p in prefixes):
+                continue
+            if self._chain_names(ALGORITHMS[name]) & idents:
+                continue
+            yield Violation(
+                path=registry_ctx.rel,
+                line=line,
+                col=1,
+                rule="RPL007",
+                message=(
+                    f"ALGORITHMS[{name!r}] is not exercised by any "
+                    "figure/extension experiment (no experiments module names "
+                    "it or references its implementation)"
+                ),
+            )
+
+    @staticmethod
+    def _chain_names(fn: Callable[..., Any]) -> set[str]:
+        """``__name__`` of every function along the ``__wrapped__`` chain.
+
+        Registry entries stack wrappers (orientation/variant closure over the
+        public ``jag_*``/``hier_*`` function over the ``_main0`` core); a
+        reference to any link counts as exercising the implementation.
+        """
+        out: set[str] = set()
+        seen: set[int] = set()
+        while id(fn) not in seen:
+            seen.add(id(fn))
+            name = getattr(fn, "__name__", None)
+            if name:
+                out.add(name)
+            fn = getattr(fn, "__wrapped__", fn)
+        return out
+
+    @staticmethod
+    def _docstring_ids(tree: ast.AST) -> set[int]:
+        """ids of the Constant nodes that are module/class/function docstrings."""
+        out: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                body = getattr(node, "body", [])
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    out.add(id(body[0].value))
+        return out
+
+
 #: per-file rules, in code order
 ALL_RULES: list[Rule] = [
     PrefixSumRule(),
@@ -513,4 +631,4 @@ ALL_RULES: list[Rule] = [
 ]
 
 #: whole-project rules
-ALL_PROJECT_RULES: list[ProjectRule] = [RegistryRule()]
+ALL_PROJECT_RULES: list[ProjectRule] = [RegistryRule(), ExperimentsCoverageRule()]

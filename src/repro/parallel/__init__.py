@@ -1,0 +1,51 @@
+"""Shared-memory multicore execution layer (see ``docs/performance.md``).
+
+Once stripe boundaries are fixed, each jagged stripe's 1D partition is
+independent (paper §3.2), and every hierarchical subtree is independent
+(§3.3) — embarrassingly parallel inner structure this package exploits with
+a persistent spawn-safe process pool:
+
+* :mod:`repro.parallel.config` — the ``REPRO_PARALLEL`` /
+  ``REPRO_PARALLEL_WORKERS`` switches and the work-size threshold; like the
+  perf layer, dispatch keeps the serial reference path alive and
+  **bit-identity with serial is the enforced contract**.
+* :mod:`repro.parallel.shm` — zero-copy export/attach of
+  :class:`~repro.core.prefix.PrefixSum2D` over
+  ``multiprocessing.shared_memory``, with a refcounted lifecycle and
+  guaranteed unlink on pool shutdown or crash.
+* :mod:`repro.parallel.pool` — the lazily-created persistent worker pool
+  plus :func:`~repro.parallel.pool.pmap`, an order-preserving map with a
+  serial fallback (what the experiment harness schedules cells through).
+* :mod:`repro.parallel.backends` / :mod:`repro.parallel.worker` — the
+  per-algorithm dispatch hooks (stripe-parallel jagged phase 2,
+  subtree-parallel hierarchical growth) and their worker-side twins.
+"""
+
+from .config import (
+    effective_workers,
+    min_parallel_cells,
+    parallel_enabled,
+    set_parallel_enabled,
+    use_parallel,
+    worker_count,
+)
+from .pool import get_pool, pmap, pool_workers, shutdown_pool
+from .shm import PrefixHandle, attach_prefix, export_prefix, live_segments, release_all
+
+__all__ = [
+    "PrefixHandle",
+    "attach_prefix",
+    "effective_workers",
+    "export_prefix",
+    "get_pool",
+    "live_segments",
+    "min_parallel_cells",
+    "parallel_enabled",
+    "pmap",
+    "pool_workers",
+    "release_all",
+    "set_parallel_enabled",
+    "shutdown_pool",
+    "use_parallel",
+    "worker_count",
+]

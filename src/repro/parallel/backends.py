@@ -1,0 +1,161 @@
+"""Parent-side dispatch hooks the algorithms call before their serial loops.
+
+Each hook returns ``None`` when the parallel layer should stay out of the
+way — layer disabled, one worker, instance under the work-size threshold,
+or pool unavailable — and the caller falls through to its serial reference
+loop.  When a hook does engage, it ships the independent units the paper's
+structure exposes (per-stripe 1D partitions for the jagged family, §3.2;
+independent subtrees for the hierarchical family, §3.3) to the worker pool
+and reassembles results in deterministic order, merging worker op-counter
+snapshots into the parent's open contexts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.prefix import PrefixSum2D
+from ..perf.counters import OpCounters, bump, counting
+from .config import min_parallel_cells
+from .pool import get_pool, pool_workers
+from .shm import export_prefix
+from .worker import hetero_stripe_chunk, hier_subtree, split_jobs, stripe_chunk
+
+__all__ = [
+    "parallel_stripe_cuts",
+    "parallel_hetero_stripe_cuts",
+    "parallel_grow_tree",
+]
+
+
+def _merge_ops(ops: OpCounters | None) -> None:
+    """Fold a worker's op-counter snapshot into the parent's open contexts."""
+    if ops:
+        for name, n in ops.items():
+            bump(name, n)
+
+
+def _engaged_pool(pref: PrefixSum2D, units: int):
+    """Shared dispatch gate: enough work, big enough instance, live pool."""
+    if units < 2 or pref.n1 * pref.n2 < min_parallel_cells():
+        return None
+    return get_pool()
+
+
+def parallel_stripe_cuts(
+    pref: PrefixSum2D,
+    stripe_cuts: np.ndarray,
+    counts: Sequence[int],
+    oned: str,
+) -> list[np.ndarray] | None:
+    """Fan the per-stripe 1D solves of JAG-PQ-HEUR / JAG-M-HEUR phase 2 out.
+
+    ``counts[s]`` is stripe ``s``'s processor count.  Returns the per-stripe
+    cut arrays in stripe order, or ``None`` when the serial loop should run.
+    """
+    P = len(stripe_cuts) - 1
+    pool = _engaged_pool(pref, P)
+    if pool is None:
+        return None
+    handle = export_prefix(pref)
+    jobs = [
+        (int(stripe_cuts[s]), int(stripe_cuts[s + 1]), int(counts[s])) for s in range(P)
+    ]
+    count_ops = counting()
+    payloads = [
+        (handle, oned, chunk, count_ops)
+        for chunk in split_jobs(jobs, 2 * pool_workers())
+    ]
+    cuts: list[np.ndarray] = []
+    for chunk_cuts, ops in pool.map(stripe_chunk, payloads):
+        cuts.extend(chunk_cuts)
+        _merge_ops(ops)
+    return cuts
+
+
+def parallel_hetero_stripe_cuts(
+    pref: PrefixSum2D,
+    stripe_cuts: np.ndarray,
+    group_speeds: Sequence[np.ndarray],
+) -> list[np.ndarray] | None:
+    """Heterogeneous twin: per-stripe makespan solves of JAG-HETERO phase 3."""
+    P = len(stripe_cuts) - 1
+    pool = _engaged_pool(pref, P)
+    if pool is None:
+        return None
+    handle = export_prefix(pref)
+    jobs = [
+        (int(stripe_cuts[s]), int(stripe_cuts[s + 1]), np.asarray(group_speeds[s]))
+        for s in range(P)
+    ]
+    count_ops = counting()
+    payloads = [
+        (handle, chunk, count_ops) for chunk in split_jobs(jobs, 2 * pool_workers())
+    ]
+    cuts: list[np.ndarray] = []
+    for chunk_cuts, ops in pool.map(hetero_stripe_chunk, payloads):
+        cuts.extend(chunk_cuts)
+        _merge_ops(ops)
+    return cuts
+
+
+def parallel_grow_tree(pref: PrefixSum2D, m: int, algo: str, variant: str) -> Any | None:
+    """Task-parallel HIER-RB / HIER-RELAXED tree growth, or ``None``.
+
+    The top levels are expanded in-process with the serial chooser until the
+    frontier holds enough independent subtrees to feed the pool; each
+    frontier node ``(rect, procs, depth)`` is then grown to completion in a
+    worker and spliced back.  Every cut decision depends only on
+    ``(rect, procs, depth)`` and Γ, so the result is bit-identical to the
+    serial recursion.
+    """
+    pool = _engaged_pool(pref, m // 2)
+    if pool is None:
+        return None
+    from ..core.rectangle import Rect
+    from ..hierarchical.tree import HierNode
+    from .worker import _chooser
+
+    chooser = _chooser(algo, variant)
+    root = HierNode(rect=Rect(0, pref.n1, 0, pref.n2), procs=m)
+    target = 2 * pool_workers()
+    pending: deque[tuple[HierNode, int]] = deque([(root, 0)])
+    while pending and len(pending) < target:
+        node, depth = pending.popleft()
+        if node.procs == 1 or node.rect.area <= 1:
+            continue  # final leaf
+        choice = chooser(pref, node.rect, node.procs, depth)
+        if choice is None:
+            continue  # un-cuttable: stays a leaf, same as serial
+        dim, cut_abs, wl, wr = choice
+        r = node.rect
+        if dim == 0:
+            lrect = Rect(r.r0, cut_abs, r.c0, r.c1)
+            rrect = Rect(cut_abs, r.r1, r.c0, r.c1)
+        else:
+            lrect = Rect(r.r0, r.r1, r.c0, cut_abs)
+            rrect = Rect(r.r0, r.r1, cut_abs, r.c1)
+        node.dim, node.cut = dim, cut_abs
+        node.left = HierNode(rect=lrect, procs=wl)
+        node.right = HierNode(rect=rrect, procs=wr)
+        # left appended first: deterministic frontier order (not required for
+        # identity — each subtree is independent — but keeps runs comparable)
+        pending.append((node.left, depth + 1))
+        pending.append((node.right, depth + 1))
+    frontier = list(pending)
+    if not frontier:
+        return root  # the whole tree fit in the serial warm-up
+    handle = export_prefix(pref)
+    count_ops = counting()
+    payloads = [
+        (handle, algo, variant, (n.rect.r0, n.rect.r1, n.rect.c0, n.rect.c1), n.procs, d, count_ops)
+        for n, d in frontier
+    ]
+    for (node, _), (sub, ops) in zip(frontier, pool.map(hier_subtree, payloads)):
+        node.dim, node.cut = sub.dim, sub.cut
+        node.left, node.right = sub.left, sub.right
+        _merge_ops(ops)
+    return root

@@ -1,0 +1,129 @@
+"""Switches and sizing knobs for the multicore execution layer.
+
+The parallel layer follows the ``repro.perf`` playbook (see
+``docs/performance.md``): every parallel code path dispatches on
+:func:`parallel_enabled` and keeps the straight-line serial implementation
+alive next to it, and **bit-identity with the serial path is the enforced
+contract** — same cuts, same rectangles, same op counts, merely computed on
+more cores.  ``tests/test_parallel_equality.py`` enforces the contract
+property-test-style and ``benchmarks/perf_regress.py --parallel`` re-asserts
+it on every timed run.
+
+Unlike the perf layer the parallel layer is **off by default**: spawning a
+process pool is a visible side effect (worker processes, shared-memory
+segments) that library code should not trigger implicitly.  Turn it on with
+``REPRO_PARALLEL=1`` in the environment, ``repro-experiments --jobs N``, or
+the scoped :func:`use_parallel` context manager.
+
+Environment knobs:
+
+``REPRO_PARALLEL``
+    Truthy values (anything but ``0/false/off/no``) enable the layer.
+``REPRO_PARALLEL_WORKERS``
+    Worker-process count (default: ``os.cpu_count()``).  A pool of one
+    worker is never spawned — dispatch short-circuits to the serial path.
+``REPRO_PARALLEL_MIN_CELLS``
+    Work-size threshold: instances with fewer load-matrix cells than this
+    stay serial (default ``131072`` = 362², see the measured crossovers in
+    ``docs/performance.md``).  Set to ``0`` to force dispatch (tests and the
+    bench harness do).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "parallel_enabled",
+    "set_parallel_enabled",
+    "use_parallel",
+    "worker_count",
+    "min_parallel_cells",
+    "effective_workers",
+]
+
+
+def _env_truthy(name: str, default: str) -> bool:
+    return os.environ.get(name, default).strip().lower() not in {"0", "false", "off", "no", ""}
+
+
+_ENABLED: bool = _env_truthy("REPRO_PARALLEL", "0")
+
+#: runtime override of the worker count; ``None`` defers to the environment
+_WORKERS: int | None = None
+
+#: default work-size threshold (load-matrix cells) below which stripe and
+#: subtree dispatch stays serial; chosen from the measured pool round-trip
+#: cost (~1 ms/task) against per-stripe 1D solve times — see
+#: docs/performance.md "Parallel execution" for the measurements.
+_DEFAULT_MIN_CELLS = 131_072
+
+
+def parallel_enabled() -> bool:
+    """True when the multicore layer is active (default: off)."""
+    return _ENABLED
+
+
+def set_parallel_enabled(on: bool, *, workers: int | None = None) -> tuple[bool, int | None]:
+    """Set the global switch (and optionally the worker count).
+
+    Returns the previous ``(enabled, workers_override)`` pair so callers can
+    restore it; prefer the scoped :func:`use_parallel`.
+    """
+    global _ENABLED, _WORKERS
+    prev = (_ENABLED, _WORKERS)
+    _ENABLED = bool(on)
+    if workers is not None:
+        _WORKERS = max(1, int(workers))
+    return prev
+
+
+@contextmanager
+def use_parallel(on: bool, *, workers: int | None = None) -> Iterator[None]:
+    """Context manager scoping the switch (used by tests, benches, the CLI)."""
+    global _ENABLED, _WORKERS
+    prev = set_parallel_enabled(on, workers=workers)
+    try:
+        yield
+    finally:
+        _ENABLED, _WORKERS = prev
+
+
+def worker_count() -> int:
+    """Configured worker-process count (override > env > ``os.cpu_count()``)."""
+    if _WORKERS is not None:
+        return _WORKERS
+    raw = os.environ.get("REPRO_PARALLEL_WORKERS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def min_parallel_cells() -> int:
+    """Work-size threshold in load-matrix cells (``REPRO_PARALLEL_MIN_CELLS``)."""
+    raw = os.environ.get("REPRO_PARALLEL_MIN_CELLS", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return _DEFAULT_MIN_CELLS
+
+
+def effective_workers() -> int:
+    """Workers the dispatch layer will actually use: 0 when the layer is off.
+
+    A configured pool of one worker reports 0 as well — running every task
+    through a single worker process would cost the round trips and buy
+    nothing, so one-worker configurations *are* the serial path (enforced by
+    ``tests/test_parallel_equality.py``).
+    """
+    if not _ENABLED:
+        return 0
+    w = worker_count()
+    return w if w >= 2 else 0

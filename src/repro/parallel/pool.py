@@ -1,0 +1,132 @@
+"""Lazily-created persistent worker pool behind the parallel dispatch layer.
+
+One spawn-context :class:`~concurrent.futures.ProcessPoolExecutor` per
+process, created on first use and kept alive across calls (spawning costs
+tens of milliseconds per worker; the figure sweeps dispatch thousands of
+small task batches).  ``spawn`` rather than ``fork``: workers must not
+inherit the parent's pool, open shared-memory maps, or perf-layer caches,
+and spawn is the only start method that is safe on every platform the CI
+matrix covers.
+
+Workers are initialized with the parallel layer *disabled* (no nested
+pools) and the parent's perf-layer switch mirrored, so a task executes
+exactly the code path the parent would have executed serially — the
+bit-identity contract's mechanical basis.
+
+Crash safety: segments exported via :mod:`repro.parallel.shm` are unlinked
+by :func:`shutdown_pool` and at interpreter exit; if the parent dies hard
+(SIGKILL) its ``resource_tracker`` unlinks them — creation registers there.
+A worker crash surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`
+in the parent, which discards the broken executor (a later dispatch spawns
+a fresh one) and keeps the segments owned by the parent, so nothing leaks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence, TypeVar
+
+from . import shm
+from .config import effective_workers
+
+__all__ = ["get_pool", "shutdown_pool", "pool_workers", "pmap"]
+
+T = TypeVar("T")
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+#: set after a pool failed to start; dispatch stays serial for the process
+_POOL_BROKEN_PERMANENTLY = False
+
+
+def _worker_init(perf_on: bool) -> None:
+    """Runs in each worker at spawn: no nested pools, mirror the perf switch."""
+    os.environ["REPRO_PARALLEL"] = "0"
+    from ..perf.config import set_perf_enabled
+    from .config import set_parallel_enabled
+
+    set_parallel_enabled(False)
+    set_perf_enabled(perf_on)
+
+
+def get_pool() -> ProcessPoolExecutor | None:
+    """The shared executor sized to :func:`effective_workers`, or ``None``.
+
+    Returns ``None`` when the layer is off, fewer than two workers are
+    configured, or pool creation failed earlier in this process.  A change
+    of the configured worker count replaces the pool.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN_PERMANENTLY
+    workers = effective_workers()
+    if workers == 0 or _POOL_BROKEN_PERMANENTLY:
+        return None
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+    from ..perf.config import perf_enabled
+
+    try:
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(perf_enabled(),),
+        )
+    except OSError:  # no process support in this environment: stay serial
+        _POOL_BROKEN_PERMANENTLY = True
+        return None
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def pool_workers() -> int:
+    """Worker count of the currently live pool (0 when no pool is alive)."""
+    return _POOL_WORKERS if _POOL is not None else 0
+
+
+def shutdown_pool(*, release_segments: bool = True) -> None:
+    """Shut the pool down and (by default) unlink every exported segment."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+    if release_segments:
+        shm.release_all()
+
+
+def _discard_broken_pool() -> None:
+    """Drop a broken executor so the next dispatch spawns a fresh one."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def pmap(fn: Callable[[Any], T], items: Sequence[Any]) -> list[T]:
+    """Ordered map over the pool, falling back to a serial loop.
+
+    Results are returned in ``items`` order regardless of completion order,
+    so reductions over them are bit-identical to the serial loop.  Worker
+    exceptions propagate to the caller (after which the pool, if broken, is
+    discarded rather than left wedged).
+    """
+    pool = get_pool() if len(items) > 1 else None
+    if pool is None:
+        return [fn(it) for it in items]
+    chunk = max(1, len(items) // (4 * _POOL_WORKERS))
+    try:
+        return list(pool.map(fn, items, chunksize=chunk))
+    except BrokenProcessPool:
+        _discard_broken_pool()
+        raise
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,153 @@
+"""Zero-copy sharing of :class:`~repro.core.prefix.PrefixSum2D` across processes.
+
+The paper's algorithms never touch the load matrix after the prefix array Γ
+is built — every probe is an O(1) int64 read (§2.1).  That makes Γ the one
+large, immutable input of every worker task, and pickling it per task would
+dwarf the work being shipped.  Instead the parent exports Γ once into a
+``multiprocessing.shared_memory`` segment; workers attach a *read-only*
+ndarray view over the same physical pages and rebuild a ``PrefixSum2D``
+around it with ``is_prefix=True`` — bit-identical queries, zero copies.
+
+Lifecycle (the part that must not leak):
+
+* One segment per exported ``PrefixSum2D`` object, created on first
+  :func:`export_prefix` and reused by later calls for the same object.
+* The segment is unlinked when the owning prefix is garbage-collected
+  (``weakref.finalize``), when :func:`release_all` runs (pool shutdown), or
+  at interpreter exit (``atexit``) — whichever comes first.  Unlinking is
+  idempotent.
+* Workers attach but never unlink; the attach suppresses resource-tracker
+  registration (CPython < 3.13 tracks attachments too, bpo-39959, and the
+  tracker process is shared with the parent — see :func:`_attach_untracked`).
+
+``tests/test_parallel_equality.py`` scans ``/dev/shm`` for the
+``repro-pool-`` name prefix to prove nothing survives normal shutdown *or*
+a worker crash.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+from typing import NamedTuple
+
+import numpy as np
+
+from ..core.prefix import PrefixSum2D
+
+__all__ = ["PrefixHandle", "export_prefix", "attach_prefix", "release_all", "live_segments"]
+
+#: every segment this module creates carries this name prefix, so tests (and
+#: operators) can audit ``/dev/shm`` for leaks attributable to this layer
+SEGMENT_PREFIX = "repro-pool-"
+
+_SEQ = itertools.count()
+
+#: parent side: id(pref) -> (segment name, finalizer); the finalizer owns the
+#: actual unlink and is reused by release_all/atexit so unlink happens once
+_EXPORTS: dict[int, tuple[str, weakref.finalize]] = {}
+
+#: parent side: segment name -> SharedMemory (kept open while exported)
+_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+#: worker side: segment name -> (SharedMemory, attached PrefixSum2D); cached
+#: so repeated tasks against the same instance reuse one mapping (and one
+#: projection cache)
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, PrefixSum2D]] = {}
+
+
+class PrefixHandle(NamedTuple):
+    """Small picklable reference to an exported prefix segment."""
+
+    name: str
+    shape: tuple[int, int]  #: Γ's shape ``(n1+1, n2+1)``, dtype always int64
+
+
+def _unlink_segment(name: str) -> None:
+    """Close and unlink one exported segment; idempotent, crash-safe."""
+    seg = _SEGMENTS.pop(name, None)
+    if seg is None:
+        return
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # already gone (e.g. external cleanup)
+        pass
+
+
+def export_prefix(pref: PrefixSum2D) -> PrefixHandle:
+    """Export ``pref``'s Γ into shared memory; repeated calls reuse the segment.
+
+    The segment lives until the prefix object is garbage-collected or
+    :func:`release_all` runs.
+    """
+    key = id(pref)
+    entry = _EXPORTS.get(key)
+    if entry is not None and entry[1].alive:
+        return PrefixHandle(entry[0], pref.G.shape)
+    name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(2)}"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=pref.G.nbytes)
+    view = np.ndarray(pref.G.shape, dtype=np.int64, buffer=seg.buf)
+    view[:] = pref.G
+    _SEGMENTS[name] = seg
+    fin = weakref.finalize(pref, _unlink_segment, name)
+    fin.atexit = False  # release_all's atexit hook covers interpreter exit
+    _EXPORTS[key] = (name, fin)
+    return PrefixHandle(name, pref.G.shape)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it as ours.
+
+    CPython < 3.13 registers *attachments* with the resource tracker as if
+    the attaching process owned them (bpo-39959).  Spawned workers share the
+    parent's tracker process, so unregistering after the fact would remove
+    the parent's own registration (and the parent's later unlink would log a
+    tracker ``KeyError``); instead the register call is suppressed for the
+    duration of the attach.
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    try:
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+def attach_prefix(handle: PrefixHandle) -> PrefixSum2D:
+    """Worker side: map the exported Γ and wrap it in a ``PrefixSum2D``.
+
+    The returned prefix is backed directly by the shared pages (read-only);
+    attachments are cached per segment for the worker's lifetime.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    seg = _attach_untracked(handle.name)
+    G = np.ndarray(handle.shape, dtype=np.int64, buffer=seg.buf)
+    G.flags.writeable = False
+    pref = PrefixSum2D(G, is_prefix=True)
+    _ATTACHED[handle.name] = (seg, pref)
+    return pref
+
+
+def release_all() -> None:
+    """Unlink every live export (pool shutdown / interpreter exit path)."""
+    for key, (name, fin) in list(_EXPORTS.items()):
+        fin.detach()  # the prefix may still be alive; unlink explicitly
+        _unlink_segment(name)
+        _EXPORTS.pop(key, None)
+
+
+def live_segments() -> list[str]:
+    """Names of segments this process currently keeps exported (for tests)."""
+    return sorted(_SEGMENTS)
+
+
+atexit.register(release_all)

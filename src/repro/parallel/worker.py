@@ -1,0 +1,133 @@
+"""Task functions executed inside pool workers.
+
+Every function here is top-level (picklable by reference), takes one payload
+tuple, and runs *exactly* the code the serial path would have run against a
+:func:`~repro.parallel.shm.attach_prefix`-mapped prefix — the parallel layer
+adds scheduling, never arithmetic.  Payloads carry a ``count_ops`` flag;
+when set, the task runs under :func:`~repro.perf.counters.op_counters` and
+returns the snapshot so the parent can merge it into its own open contexts
+(see ``backends._merge_ops``).
+
+Heavy sibling packages (``repro.hierarchical``) are imported lazily inside
+the task bodies: ``repro.hierarchical`` imports ``repro.parallel.backends``
+for its dispatch hook, and backends imports this module, so a module-level
+import here would be circular.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..oned.api import ONED_METHODS
+from ..oned.hetero import hetero_cuts, hetero_makespan
+from ..perf.counters import OpCounters, op_counters
+from .shm import PrefixHandle, attach_prefix
+
+__all__ = ["stripe_chunk", "hetero_stripe_chunk", "hier_subtree"]
+
+
+def _ops_context(count_ops: bool):
+    return op_counters() if count_ops else nullcontext(None)
+
+
+def stripe_chunk(
+    payload: tuple[PrefixHandle, str, tuple[tuple[int, int, int], ...], bool],
+) -> tuple[list[np.ndarray], OpCounters | None]:
+    """Solve a chunk of per-stripe 1D partitions: ``(lo, hi, q)`` triples.
+
+    Mirrors the serial loop of JAG-PQ-HEUR / JAG-M-HEUR phase 2: project the
+    stripe band onto the auxiliary dimension and cut it into ``q`` intervals
+    with the named optimal 1D method.
+    """
+    handle, oned, jobs, count_ops = payload
+    pref = attach_prefix(handle)
+    solve = ONED_METHODS[oned]
+    with _ops_context(count_ops) as ops:
+        cuts = []
+        for lo, hi, q in jobs:
+            band = pref.axis_prefix(1, lo, hi)
+            _, cc = solve(band, q)
+            cuts.append(cc)
+    return cuts, ops
+
+
+def hetero_stripe_chunk(
+    payload: tuple[PrefixHandle, tuple[tuple[int, int, Any], ...], bool],
+) -> tuple[list[np.ndarray], OpCounters | None]:
+    """Heterogeneous twin of :func:`stripe_chunk`: ``(lo, hi, speeds)`` triples.
+
+    Runs the same makespan bisection + probe rebuild as the serial loop of
+    :func:`repro.jagged.hetero.jag_hetero` phase 3.
+    """
+    handle, jobs, count_ops = payload
+    pref = attach_prefix(handle)
+    with _ops_context(count_ops) as ops:
+        cuts = []
+        for lo, hi, speeds in jobs:
+            band = pref.axis_prefix(1, lo, hi)
+            gs = np.asarray(speeds, dtype=np.float64)  # repro-lint: disable=RPL003 — heterogeneous speeds are fractional by design
+            Ts = hetero_makespan(band, gs)
+            cc = hetero_cuts(band, gs, Ts * (1 + 1e-12) + 1e-9)
+            assert cc is not None
+            cuts.append(cc)
+    return cuts, ops
+
+
+def hier_subtree(
+    payload: tuple[PrefixHandle, str, str, tuple[int, int, int, int], int, int, bool],
+) -> tuple[Any, OpCounters | None]:
+    """Fully grow one hierarchical subtree from a frontier node.
+
+    ``algo`` is ``"rb"`` or ``"relaxed"``; the chooser is rebuilt in the
+    worker from ``(algo, variant)`` so the subtree's cut decisions are the
+    ones the serial recursion would have made at the same ``(rect, procs,
+    depth)`` — depth is passed through because the HOR/VER variants
+    alternate dimensions by level.
+    """
+    handle, algo, variant, rect_tuple, procs, depth, count_ops = payload
+    from ..core.rectangle import Rect
+    from ..hierarchical.tree import HierNode, grow_tree
+
+    pref = attach_prefix(handle)
+    chooser = _chooser(algo, variant)
+    root = HierNode(rect=Rect(*rect_tuple), procs=procs)
+    with _ops_context(count_ops) as ops:
+        grow_tree(pref, procs, chooser, root=root, depth0=depth)
+    return root, ops
+
+
+def _chooser(algo: str, variant: str):
+    """Resolve ``(algo, variant)`` to the serial chooser implementation."""
+    if algo == "rb":
+        from ..hierarchical.rb import _rb_chooser
+
+        return _rb_chooser(variant)
+    if algo == "relaxed":
+        from ..hierarchical.relaxed import _relaxed_chooser
+
+        return _relaxed_chooser(variant)
+    raise ValueError(f"unknown hierarchical algo {algo!r}")
+
+
+def split_jobs(
+    jobs: Sequence[Any], parts: int
+) -> list[tuple[Any, ...]]:
+    """Contiguous, order-preserving chunking of a job list (parent side).
+
+    Lives here (not in ``pool``) so the chunk layout used by dispatch and
+    expected by the task functions is defined in one place.
+    """
+    n = len(jobs)
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    out = []
+    start = 0
+    for k in range(parts):
+        size = base + (1 if k < extra else 0)
+        if size:
+            out.append(tuple(jobs[start : start + size]))
+        start += size
+    return out

@@ -43,6 +43,10 @@ MODULES = [
     "repro.runtime",
     "repro.dynamic",
     "repro.experiments",
+    "repro.parallel",
+    "repro.parallel.config",
+    "repro.parallel.pool",
+    "repro.parallel.shm",
 ]
 
 

@@ -75,6 +75,40 @@ class TestFigureResult:
         assert text.splitlines()[0] == "m,s"
         assert "0.125" in text
 
+    def test_csv_roundtrip_bitexact_with_missing(self, tmp_path):
+        from repro.experiments.harness import MISSING
+
+        r = FigureResult("figZ", "demo", "m", "y")
+        r.add("A", 4, 1 / 3)  # non-terminating binary fraction: repr must round-trip
+        r.add("A", 9, 0.0073615436187954)
+        r.add("B", 4, 2.5)  # B has no point at x=9 -> MISSING cell
+        path = r.to_csv(tmp_path / "figZ.csv")
+        assert MISSING in path.read_text().splitlines()[2].split(",")
+        back = FigureResult.from_csv(path, fig="figZ")
+        assert back.series == r.series  # bit-identical floats, absent cell absent
+        assert back.xlabel == "m"
+
+    def test_missing_sentinel_shared_by_table_and_csv(self, tmp_path):
+        from repro.experiments.harness import MISSING
+
+        r = FigureResult("figW", "demo", "m", "y")
+        r.add("A", 1, 0.5)
+        r.add("B", 2, 0.5)
+        # same sentinel renders the A@2 / B@1 holes in both formats
+        assert MISSING in r.to_table()
+        cells = {
+            c
+            for line in r.to_csv(tmp_path / "w.csv").read_text().splitlines()[1:]
+            for c in line.split(",")
+        }
+        assert MISSING in cells
+
+    def test_from_csv_rejects_empty(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            FigureResult.from_csv(p)
+
     def test_xs_sorted_union(self):
         r = FigureResult("f", "t", "x", "y")
         r.add("a", 5, 1)
@@ -166,6 +200,46 @@ class TestDeterminism:
         dt, out = timed(sum, range(1000))
         assert out == sum(range(1000))
         assert dt >= 0.0
+
+    def test_timed_repeats(self):
+        from repro.experiments.harness import timed
+
+        calls = []
+        dt, out = timed(lambda: calls.append(1) or len(calls), repeats=3)
+        assert len(calls) == 3
+        assert out == 1  # result of the *first* call
+        assert dt >= 0.0
+        with pytest.raises(ValueError):
+            timed(sum, range(10), repeats=0)
+
+
+class TestExtensions:
+    def test_ext5_covers_registry_gaps(self):
+        """ext5 runs every otherwise-unexercised registry entry (RPL007)."""
+        from repro.experiments.extensions import _UNCOVERED_ENTRIES, ext5_registry_coverage
+
+        r = ext5_registry_coverage(TINY)
+        assert set(r.series) == set(_UNCOVERED_ENTRIES)
+        for pts in r.series.values():
+            assert [x for x, _ in pts] == [2.0, 4.0, 6.0]
+
+    def test_ext5_exact_beats_heuristic(self):
+        """Each exact method ≤ its heuristic on ext5's common instance."""
+        from repro.core.prefix import PrefixSum2D
+        from repro.core.registry import ALGORITHMS
+        from repro.experiments.extensions import ext5_registry_coverage
+        from repro.instances import peak
+
+        r = ext5_registry_coverage(TINY)
+        s = {name: dict(pts) for name, pts in r.series.items()}
+        pref = PrefixSum2D(peak(min(TINY.n_peak, 20), seed=0))
+        for m in (2, 4, 6):
+            for o in ("HOR", "VER", "BEST"):
+                assert s[f"JAG-PQ-OPT-{o}"][m] <= s[f"JAG-PQ-HEUR-{o}"][m] + 1e-12
+                assert s[f"JAG-M-OPT-{o}"][m] <= s[f"JAG-M-HEUR-{o}"][m] + 1e-12
+            assert s["SPIRAL-OPT"][m] <= s["SPIRAL-RELAXED"][m] + 1e-12
+            hier_rb = ALGORITHMS["HIER-RB"](pref, m).imbalance(pref)
+            assert s["HIER-OPT"][m] <= hier_rb + 1e-12
 
 
 class TestGallery:

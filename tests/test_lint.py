@@ -1,4 +1,4 @@
-"""Tests for the repro-lint static-analysis subsystem (RPL001–RPL005).
+"""Tests for the repro-lint static-analysis subsystem (RPL001–RPL005, RPL007).
 
 Each rule is exercised both ways: a fixture snippet that must trigger it and
 the idiomatic equivalent that must stay silent, plus the suppression syntax.
@@ -235,6 +235,80 @@ class TestRPL004Registry:
 
         wrapper.__wrapped__ = impl
         assert check_registry({"RECT-GOOD": wrapper}, self.DOCS) == []
+
+
+class TestRPL007Coverage:
+    """RPL007: every ALGORITHMS entry reached by some experiments module."""
+
+    REGISTRY_STUB = '"""Stub registry."""\n\nALGORITHMS = {}\n'
+
+    def _lint_tree(self, tmp_path: Path, experiments_src: str | None) -> list:
+        """Lint a tmp tree shaped like the repo (registry + experiments)."""
+        core = tmp_path / "repro" / "core"
+        core.mkdir(parents=True)
+        (core / "registry.py").write_text(self.REGISTRY_STUB, encoding="utf-8")
+        if experiments_src is not None:
+            exp = tmp_path / "repro" / "experiments"
+            exp.mkdir()
+            (exp / "figs.py").write_text(experiments_src, encoding="utf-8")
+        res = lint_paths([tmp_path / "repro"])
+        return [v for v in res.violations if v.rule == "RPL007"]
+
+    @staticmethod
+    def _names_tuple(names) -> str:
+        body = "\n".join(f"    {n!r}," for n in sorted(names))
+        return f"COVERED = (\n{body}\n)\n"
+
+    def test_full_string_coverage_is_silent(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        out = self._lint_tree(tmp_path, self._names_tuple(ALGORITHMS))
+        assert out == []
+
+    def test_uncovered_entry_is_flagged(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        covered = [n for n in ALGORITHMS if n != "HIER-OPT"]
+        out = self._lint_tree(tmp_path, self._names_tuple(covered))
+        assert len(out) == 1
+        assert "'HIER-OPT'" in out[0].message
+        assert out[0].line == 3  # anchored at the ALGORITHMS assignment
+
+    def test_empty_experiments_flags_every_entry(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        out = self._lint_tree(tmp_path, "x = 1\n")
+        assert len(out) == len(ALGORITHMS)
+
+    def test_fstring_prefix_covers_variants(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        covered = [n for n in ALGORITHMS if not n.startswith("HIER-RB-")]
+        src = self._names_tuple(covered) + 'name = f"HIER-RB-{variant}"\n'
+        assert self._lint_tree(tmp_path, src) == []
+
+    def test_implementation_reference_covers_entry(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        covered = [n for n in ALGORITHMS if n != "JAG-PQ-HEUR"]
+        src = self._names_tuple(covered) + "part = jag_pq_heur(pref, m)\n"
+        assert self._lint_tree(tmp_path, src) == []
+
+    def test_docstring_mention_does_not_count(self, tmp_path):
+        from repro.core.registry import ALGORITHMS
+
+        covered = [n for n in ALGORITHMS if n != "HIER-OPT"]
+        src = '"""Covers \'HIER-OPT\' only in prose."""\n' + self._names_tuple(covered)
+        out = self._lint_tree(tmp_path, src)
+        assert len(out) == 1
+        assert "'HIER-OPT'" in out[0].message
+
+    def test_without_experiments_package_is_silent(self, tmp_path):
+        assert self._lint_tree(tmp_path, None) == []
+
+    def test_repo_tree_is_clean(self):
+        res = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert [v for v in res.violations if v.rule == "RPL007"] == []
 
 
 class TestEngineAndCli:
