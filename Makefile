@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke
+.PHONY: check lint ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -46,3 +46,15 @@ bench-parallel:
 
 bench-parallel-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --parallel --profile tiny
+
+# sweep family: repro.sweep.sweep() m-sweeps vs per-m cold calls, asserting
+# every cell bit-identical; writes BENCH_sweep.json
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sweep --min-speedup 1.5
+
+bench-sweep-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sweep --profile tiny
+
+# committed-baseline gate: fail on any `identical: false` in BENCH_*.json
+bench-check-identity:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --check-identity

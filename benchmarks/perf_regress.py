@@ -29,6 +29,20 @@ worker count, and ``BENCH_parallel.json`` is written.  Identity is the
 gate; the recorded speedups are honest (on a 1-CPU box they are < 1 —
 the JSON records ``cpu_count`` so readers can tell).  Run via ``make
 bench-parallel`` / ``make bench-parallel-smoke``.
+
+``--sweep`` runs the *sweep* family instead: whole m-sweeps through
+:func:`repro.sweep.sweep` (cross-call warm starts: monotone bound reuse,
+heuristic witnesses, shared stripe memos) against the same sweep as per-m
+cold calls, perf layer on in **both** modes so the measured delta is the
+sweep engine alone.  Every (algorithm, m) cell is asserted bit-identical
+to its cold call — that is the engine's contract — and
+``BENCH_sweep.json`` is written.  Run via ``make bench-sweep`` / ``make
+bench-sweep-smoke``.
+
+``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
+root and exits non-zero if any row anywhere records ``identical: false`` —
+the cheap CI gate that a stale or hand-edited baseline cannot sneak a
+non-identical result past review.
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ import argparse
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 from dataclasses import dataclass
@@ -69,18 +84,34 @@ class Bench:
     repeats: int = 3
 
 
-def _time_mode(bench: Bench, enabled: bool) -> tuple[float, Any]:
-    """Best-of-N wall-clock of ``bench.call`` with the perf layer toggled."""
-    best = float("inf")
-    result = None
-    with use_perf(enabled):
-        for _ in range(bench.repeats):
-            state = bench.setup()
-            t0 = time.perf_counter()
-            result = bench.call(state)
-            dt = time.perf_counter() - t0
-            best = min(best, dt)
-    return best, result
+def _time_pair(bench: Bench) -> tuple[float, float, Any, Any]:
+    """Median-of-N of both modes, ref and perf paired within each repeat.
+
+    Two sources of bias make the classic one-block-per-mode best-of
+    unusable on the sub-millisecond figure rows, where the real effect is
+    a few percent: slow clock-speed drift lands entirely on whichever mode
+    runs second, and on a shared machine the minimum of a block measures
+    scheduler luck rather than the code.  So every repeat runs both modes
+    back to back (alternating which goes first to cancel ordering bias)
+    and each mode reports its *median* repeat — a stable estimator whose
+    noise the pairing applies to both sides equally.
+    """
+    times: dict[bool, list[float]] = {False: [], True: []}
+    result: dict[bool, Any] = {False: None, True: None}
+    for rep in range(bench.repeats):
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        for enabled in order:
+            with use_perf(enabled):
+                state = bench.setup()
+                t0 = time.perf_counter()
+                result[enabled] = bench.call(state)
+                times[enabled].append(time.perf_counter() - t0)
+    return (
+        statistics.median(times[False]),
+        statistics.median(times[True]),
+        result[False],
+        result[True],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -183,9 +214,12 @@ def _figure_benches(tiny: bool) -> list[Bench]:
     opt_ms = (16,) if tiny else (36, 144)
     for method in ("JAG-PQ-HEUR", "JAG-M-HEUR"):
         for m in heur_ms:
+            # sub-millisecond rows: the per-mode best-of floor is a noisy
+            # estimator at this scale (the true perf edge is a few percent),
+            # so spend ~an extra half second on repeats to stabilize it
             benches.append(
                 _partition_bench(
-                    f"fig_jagged/{method}/m={m}", "jagged", A_jag, m, method, repeats=5
+                    f"fig_jagged/{method}/m={m}", "jagged", A_jag, m, method, repeats=31
                 )
             )
     for m in opt_ms:
@@ -347,6 +381,174 @@ def run_parallel(profile: str, out_path: Path) -> int:
 
 
 # ---------------------------------------------------------------------------
+# sweep family
+
+
+def _rects_key(part: Any) -> list[tuple[int, int, int, int]]:
+    return sorted((r.r0, r.r1, r.c0, r.c1) for r in part.rects)
+
+
+#: the paper's Fig. 7 comparison shape: orientation variants plus the
+#: best-of entry, heuristics before exact solvers.  This is where the sweep
+#: engine's warmth bites hardest — the best-of entries re-solve orientations
+#: the single-orientation entries already solved, and the exact-hit short
+#: circuit plus recorded witnesses make those re-solves nearly free, while
+#: cold per-m calls pay each of them twice.
+_SWEEP_TRIO = [
+    "JAG-M-HEUR-HOR",
+    "JAG-M-HEUR-VER",
+    "JAG-M-HEUR",
+    "JAG-M-OPT-HOR",
+    "JAG-M-OPT-VER",
+    "JAG-M-OPT",
+]
+
+
+def _sweep_configs(tiny: bool) -> list[tuple[str, np.ndarray, list[str], tuple[int, ...]]]:
+    """(family, matrix, algorithms, m_values) per swept figure setting.
+
+    ``sweep_fig7`` is the paper's Fig. 7 shape on a uniform instance (the
+    full variant comparison); ``sweep_exact`` keeps only the exact-solver
+    variants on a peak instance, so the aggregate isolates the warm-start
+    machinery on the solver the paper's runtime story centers on.
+    """
+    exact_trio = ["JAG-M-OPT-HOR", "JAG-M-OPT-VER", "JAG-M-OPT"]
+    if tiny:
+        ms = (9, 16, 36)
+        return [
+            ("sweep_fig7", uniform(64, 1.3, seed=0), _SWEEP_TRIO, ms),
+            ("sweep_exact", peak(64, seed=0), exact_trio, ms),
+        ]
+    ms = (16, 36, 64, 144)
+    return [
+        ("sweep_fig7", uniform(128, 1.3, seed=0), _SWEEP_TRIO, ms),
+        ("sweep_exact", peak(128, seed=0), exact_trio, ms),
+    ]
+
+
+def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
+    """Whole-sweep warm starts vs per-m cold calls; identity is the gate."""
+    from repro.sweep import sweep
+
+    tiny = profile == "tiny"
+    repeats = 3 if tiny else 2
+    rows = []
+    families: dict[str, dict[str, float]] = {}
+    failures = []
+    with use_perf(True):
+        for fam, A, names, ms in _sweep_configs(tiny):
+            warm_s = float("inf")
+            res = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                out = sweep(A, names, ms)
+                dt = time.perf_counter() - t0
+                if dt < warm_s:
+                    warm_s, res = dt, out
+            assert res is not None
+            cold_total = 0.0
+            fam_identical = True
+            for name in names:
+                for m in sorted(set(ms), reverse=True):
+                    cold_s = float("inf")
+                    ref = None
+                    for _ in range(repeats):
+                        t0 = time.perf_counter()
+                        # the cold baseline a user without the engine pays:
+                        # one public call per (algorithm, m), fresh prefix
+                        ref = partition_2d(A, m, name)
+                        cold_s = min(cold_s, time.perf_counter() - t0)
+                    assert ref is not None
+                    identical = _rects_key(res[(name, m)]) == _rects_key(ref)
+                    fam_identical = fam_identical and identical
+                    if not identical:
+                        failures.append(f"{fam}/{name}/m={m}")
+                    cold_total += cold_s
+                    rows.append(
+                        {
+                            "name": f"{fam}/{name}/m={m}",
+                            "family": fam,
+                            "cold_s": round(cold_s, 6),
+                            "identical": identical,
+                        }
+                    )
+                    print(
+                        f"{fam}/{name}/m={m:<4d} cold {cold_s * 1e3:9.2f}ms  "
+                        f"{'ok' if identical else 'MISMATCH'}"
+                    )
+            speedup = cold_total / warm_s if warm_s > 0 else float("inf")
+            families[fam] = {
+                "cold_total_s": round(cold_total, 6),
+                "warm_sweep_s": round(warm_s, 6),
+                "speedup": round(speedup, 3),
+                "identical": fam_identical,
+            }
+            print(
+                f"-- {fam:12s} cold total {cold_total * 1e3:9.2f}ms -> "
+                f"sweep {warm_s * 1e3:9.2f}ms  {speedup:6.2f}x"
+            )
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --sweep",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benches": rows,
+        "families": families,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print(f"FAIL: non-identical results: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if min_speedup is not None:
+        for fam, agg in families.items():
+            if agg["speedup"] < min_speedup:
+                print(
+                    f"FAIL: {fam} sweep speedup {agg['speedup']:.2f}x "
+                    f"< {min_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# committed-baseline identity gate
+
+
+def check_identity(root: Path = REPO_ROOT) -> int:
+    """Scan committed ``BENCH_*.json`` for any ``identical: false`` row."""
+    bad: list[str] = []
+
+    def scan(node: Any, where: str) -> None:
+        if isinstance(node, dict):
+            if node.get("identical") is False:
+                bad.append(f"{where} ({node.get('name', '?')})")
+            for key, val in node.items():
+                scan(val, f"{where}.{key}")
+        elif isinstance(node, list):
+            for i, val in enumerate(node):
+                scan(val, f"{where}[{i}]")
+
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    for path in files:
+        scan(json.loads(path.read_text()), path.name)
+    if bad:
+        for entry in bad:
+            print(f"FAIL: identical=false at {entry}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} baseline(s), every row identical")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 
@@ -357,8 +559,7 @@ def run(profile: str, out_path: Path, min_speedup: float | None) -> int:
     rows = []
     failures = []
     for bench in benches:
-        before_s, ref = _time_mode(bench, enabled=False)
-        after_s, opt = _time_mode(bench, enabled=True)
+        before_s, after_s, ref, opt = _time_pair(bench)
         identical = bench.key(ref) == bench.key(opt)
         if not identical:
             failures.append(bench.name)
@@ -448,10 +649,27 @@ def main(argv: list[str] | None = None) -> int:
         help="run the parallel family instead: serial vs the repro.parallel "
         "layer at 1/2/4 workers, asserting bit-identical rectangles",
     )
+    ap.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the sweep family instead: repro.sweep.sweep() m-sweeps vs "
+        "per-m cold calls, asserting bit-identical rectangles per cell",
+    )
+    ap.add_argument(
+        "--check-identity",
+        action="store_true",
+        help="scan committed BENCH_*.json baselines and fail on any "
+        "`identical: false` row (no benches are run)",
+    )
     args = ap.parse_args(argv)
+    if args.check_identity:
+        return check_identity()
     if args.parallel:
         out = args.out or REPO_ROOT / "BENCH_parallel.json"
         return run_parallel(args.profile, out)
+    if args.sweep:
+        out = args.out or REPO_ROOT / "BENCH_sweep.json"
+        return run_sweep(args.profile, out, args.min_speedup)
     out = args.out or REPO_ROOT / "BENCH_core.json"
     return run(args.profile, out, args.min_speedup)
 

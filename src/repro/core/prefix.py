@@ -18,9 +18,10 @@ from typing import Union
 import numpy as np
 
 from ..perf.cache import LRUCache
-from ..perf.config import cache_budget_bytes, perf_enabled
+from ..perf.config import cache_budget_bytes, cache_min_cells, perf_enabled
 from ..perf.counters import _STACK as _OPS
 from ..perf.counters import bump
+from ..sweep.state import sweep_active
 from .errors import ParameterError
 
 __all__ = ["PrefixSum1D", "PrefixSum2D", "prefix_1d", "prefix_2d", "as_load_matrix"]
@@ -123,7 +124,7 @@ class PrefixSum2D:
 
     # __weakref__ lets repro.parallel.shm key exported shared-memory segments
     # to the prefix's lifetime (weakref.finalize unlinks on collection)
-    __slots__ = ("G", "n1", "n2", "_cache", "_max_el", "_T", "__weakref__")
+    __slots__ = ("G", "n1", "n2", "_cache", "_cache_default", "_max_el", "_T", "__weakref__")
 
     def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
         if is_prefix:
@@ -139,6 +140,7 @@ class PrefixSum2D:
         self.n1 = G.shape[0] - 1
         self.n2 = G.shape[1] - 1
         self._cache: LRUCache | None = None
+        self._cache_default: bool | None = None
         self._max_el: int | None = None
         self._T: "PrefixSum2D | None" = None
 
@@ -147,6 +149,18 @@ class PrefixSum2D:
         if self._cache is None:
             self._cache = LRUCache(cache_budget_bytes())
         return self._cache
+
+    def _reuse_default(self) -> bool:
+        """Whether size-defaulted projection queries memoize on this instance.
+
+        Small matrices lose to the cache bookkeeping (the straight-line
+        subtraction is a handful of microseconds), so memoization defaults
+        on only above :func:`~repro.perf.config.cache_min_cells` cells.
+        Resolved once per instance — the threshold is a process-level knob.
+        """
+        if self._cache_default is None:
+            self._cache_default = self.n1 * self.n2 >= cache_min_cells()
+        return self._cache_default
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -174,7 +188,14 @@ class PrefixSum2D:
             return self.G[hi, :] - self.G[lo, :]
         raise ParameterError(f"axis must be 0 or 1, got {axis}")
 
-    def axis_prefix(self, axis: int, lo: int = 0, hi: int | None = None) -> np.ndarray:
+    def axis_prefix(
+        self,
+        axis: int,
+        lo: int = 0,
+        hi: int | None = None,
+        *,
+        reuse: bool | None = None,
+    ) -> np.ndarray:
         """Prefix array along ``axis`` restricted to band ``[lo, hi)`` of the other axis.
 
         For ``axis == 0`` this returns the length ``n1+1`` prefix of the row
@@ -184,8 +205,24 @@ class PrefixSum2D:
         the result is memoized per ``(axis, lo, hi)`` in a bounded LRU and
         returned *read-only*; otherwise it is a fresh array (one vectorized
         subtraction of two views of ``Γ``).
+
+        ``reuse`` controls memoization: ``True`` forces it (callers that
+        revisit the same band many times, e.g. the exact-solver DPs),
+        ``False`` forces the straight-line path, and ``None`` (default)
+        memoizes only when the instance has at least
+        :func:`~repro.perf.config.cache_min_cells` cells — on small
+        matrices the cache bookkeeping costs more than the subtraction.
         """
         if not perf_enabled():
+            return self._axis_prefix_ref(axis, lo, hi)
+        if reuse is None:
+            # inlined slot read: this dispatch runs on every projection
+            # query, and the resolved default is the overwhelmingly common
+            # case — the helper call only happens once per instance
+            reuse = self._cache_default
+            if reuse is None:
+                reuse = self._reuse_default()
+        if not reuse:
             return self._axis_prefix_ref(axis, lo, hi)
         if hi is None:
             hi = self.n2 if axis == 0 else self.n1
@@ -203,7 +240,16 @@ class PrefixSum2D:
         cache.put(key, p)
         return p
 
-    def band_prefix(self, axis: int, lo: int, hi: int, j0: int, j1: int) -> np.ndarray:
+    def band_prefix(
+        self,
+        axis: int,
+        lo: int,
+        hi: int,
+        j0: int,
+        j1: int,
+        *,
+        reuse: bool | None = None,
+    ) -> np.ndarray:
         """Prefix along ``axis`` of the sub-rectangle band.
 
         Like :meth:`axis_prefix` but additionally windowed to ``[j0, j1)``
@@ -211,29 +257,44 @@ class PrefixSum2D:
         hierarchical algorithms working on sub-rectangles.  The full-width
         window equals :meth:`axis_prefix` exactly (the first row/column of
         ``Γ`` is zero), so that case is delegated to the memoized projection.
+        ``reuse`` is forwarded to :meth:`axis_prefix`.
         """
         if j0 == 0 and perf_enabled():
             if j1 == (self.n1 if axis == 0 else self.n2):
-                return self.axis_prefix(axis, lo, hi)
+                return self.axis_prefix(axis, lo, hi, reuse=reuse)
             # axis prefixes start at 0, so no rebase is needed: hand out a
             # (read-only) view of the memoized projection
-            return self.axis_prefix(axis, lo, hi)[: j1 + 1]  # repro-lint: disable=RPL002
+            return self.axis_prefix(axis, lo, hi, reuse=reuse)[: j1 + 1]  # repro-lint: disable=RPL002
         # the prefix window of half-open [j0, j1) has j1-j0+1 entries
-        p = self.axis_prefix(axis, lo, hi)[j0 : j1 + 1]  # repro-lint: disable=RPL002
+        p = self.axis_prefix(axis, lo, hi, reuse=reuse)[j0 : j1 + 1]  # repro-lint: disable=RPL002
         return p - p[0]
 
-    def boundary_list(self, axis: int, lo: int = 0, hi: int | None = None) -> list[int]:
+    def boundary_list(
+        self,
+        axis: int,
+        lo: int = 0,
+        hi: int | None = None,
+        *,
+        reuse: bool | None = None,
+    ) -> list[int]:
         """List form of :meth:`axis_prefix` — what the probe hot path wants.
 
         The probe family binary-searches plain Python lists (C-speed
         ``bisect_right``, see :mod:`repro.oned.probe`); converting an
         ``ndarray`` costs O(n) per call.  This query converts once per
         ``(axis, lo, hi)`` and memoizes the list alongside the projection.
-        Callers must treat the returned list as immutable.
+        Callers must treat the returned list as immutable.  ``reuse`` as in
+        :meth:`axis_prefix` (``None`` defers to the instance-size default).
         """
-        p = self.axis_prefix(axis, lo, hi)
         if not perf_enabled():
-            return p.tolist()
+            return self._axis_prefix_ref(axis, lo, hi).tolist()
+        if reuse is None:
+            reuse = self._cache_default  # inlined, as in axis_prefix
+            if reuse is None:
+                reuse = self._reuse_default()
+        if not reuse:
+            return self._axis_prefix_ref(axis, lo, hi).tolist()
+        p = self.axis_prefix(axis, lo, hi, reuse=True)
         if hi is None:
             hi = self.n2 if axis == 0 else self.n1
         key = ("bl", axis, lo, hi)
@@ -269,14 +330,47 @@ class PrefixSum2D:
         reused (the -BEST orientation wrappers and repeated figure sweeps
         otherwise re-copy ``Γᵀ`` on every call); both directions share the
         link, so ``pref.transpose().transpose() is pref``.
+
+        Caching is adaptive, like the projection memo: pinning ``Γᵀ`` to
+        the instance extends its lifetime and ties the pair into a reference
+        cycle (freed by the cycle collector, not refcounting), which on
+        small matrices costs more than the copy it saves.  The cache engages
+        above :func:`~repro.perf.config.cache_min_cells` cells — or whenever
+        a sweep is active, because the sweep stores key warm-start facts by
+        object identity and the -VER variants only accumulate facts if every
+        call sees the *same* transposed prefix.  Below the threshold the
+        perf layer still copies (the per-stripe band queries of the jagged
+        heuristics want contiguous rows) but skips the constructor's border
+        re-validation — ``Γᵀ``'s zero border *is* ``Γ``'s zero border.
         """
-        if not perf_enabled():
-            return PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
-        if self._T is None:
-            T = PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
-            T._T = self
-            self._T = T
-        return self._T
+        if perf_enabled():
+            if self._T is None and (self._reuse_default() or sweep_active()):
+                T = self._transpose_unvalidated()
+                T._T = self
+                self._T = T
+            if self._T is not None:
+                return self._T
+            return self._transpose_unvalidated()
+        return PrefixSum2D(np.ascontiguousarray(self.G.T), is_prefix=True)
+
+    def _transpose_unvalidated(self) -> "PrefixSum2D":
+        """Contiguous transposed prefix without re-running border validation.
+
+        The constructor's zero-border check is a proof obligation for
+        *external* prefix arrays; ``Γᵀ`` of an already-validated ``Γ``
+        satisfies it by construction, so the perf path skips the two
+        full-border scans and seeds the size- and max-element slots (both
+        are transpose-invariant) instead of re-resolving them.
+        """
+        T = PrefixSum2D.__new__(PrefixSum2D)
+        T.G = np.ascontiguousarray(self.G.T)
+        T.n1 = self.n2
+        T.n2 = self.n1
+        T._cache = None
+        T._cache_default = self._cache_default  # same n1·n2 cell count
+        T._max_el = self._max_el  # same multiset of cell loads
+        T._T = None
+        return T
 
 
 MatrixLike = Union[np.ndarray, PrefixSum2D]

@@ -51,8 +51,8 @@ def _candidate_dims(variant: str, rect: Rect, depth: int) -> tuple[int, ...]:
 def _band(pref: PrefixSum2D, rect: Rect, dim: int) -> np.ndarray:
     """Rebased prefix along ``dim`` of the sub-rectangle."""
     if dim == 0:
-        return pref.band_prefix(0, rect.c0, rect.c1, rect.r0, rect.r1)
-    return pref.band_prefix(1, rect.r0, rect.r1, rect.c0, rect.c1)
+        return pref.band_prefix(0, rect.c0, rect.c1, rect.r0, rect.r1, reuse=True)
+    return pref.band_prefix(1, rect.r0, rect.r1, rect.c0, rect.c1, reuse=True)
 
 
 def _rb_chooser(variant: str):
@@ -71,10 +71,10 @@ def _rb_chooser(variant: str):
                 if fast:
                     # work on the memoized un-rebased projection directly
                     if dim == 0:
-                        p = pref.axis_prefix(0, rect.c0, rect.c1)
+                        p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
                         j0, j1 = rect.r0, rect.r1
                     else:
-                        p = pref.axis_prefix(1, rect.r0, rect.r1)
+                        p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
                         j0, j1 = rect.c0, rect.c1
                     found2 = best_weighted_cut_win(p, j0, j1, orientations)
                     if found2 is None:

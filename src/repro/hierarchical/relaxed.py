@@ -40,10 +40,10 @@ def _relaxed_chooser(variant: str):
                     # windowed split on the memoized un-rebased projection
                     # (bit-identical to rebasing first; see cuts.py)
                     if dim == 0:
-                        p = pref.axis_prefix(0, rect.c0, rect.c1)
+                        p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
                         found = best_relaxed_split_win(p, rect.r0, rect.r1, m)
                     else:
-                        p = pref.axis_prefix(1, rect.r0, rect.r1)
+                        p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
                         found = best_relaxed_split_win(p, rect.c0, rect.c1, m)
                 else:
                     found = best_relaxed_split(_band(pref, rect, dim), m)

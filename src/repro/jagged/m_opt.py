@@ -34,6 +34,7 @@ from ..oned.bisect import bisect_bottleneck
 from ..oned.probe import min_parts, probe_cuts
 from ..perf.batch import min_parts_batch
 from ..perf.config import perf_enabled
+from ..sweep.state import current as _sweep_current
 from .common import build_jagged_partition, oriented
 from .m_heur import _jag_m_heur_main0, allocate_processors
 
@@ -67,8 +68,57 @@ def _stripe_min_parts(
     if not perf_enabled():
         return min_parts(pref.G[i, :] - pref.G[k, :], B, cap=cap)
     if min(est, cap) >= _BATCH_MIN_PARTS:
-        return min_parts_batch(pref.axis_prefix(1, k, i), B, cap=cap)
-    return min_parts(pref.boundary_list(1, k, i), B, cap=cap)
+        return min_parts_batch(pref.axis_prefix(1, k, i, reuse=True), B, cap=cap)
+    return min_parts(pref.boundary_list(1, k, i, reuse=True), B, cap=cap)
+
+
+#: memo-entry list length that triggers a compaction pass; cross-sweep
+#: sharing would otherwise grow the per-stripe fact lists without bound
+#: and slow the linear scan in :func:`_memo_bounds`
+_MEMO_COMPACT_LEN = 24
+
+
+def _compact_entries(entries: list) -> None:
+    """Drop memo facts that cannot change any :func:`_memo_bounds` answer.
+
+    The lower bound at a query ``B`` is the max count over entries with
+    ``B' >= B``: scanning entries by descending ``B'``, only those raising
+    the running max matter.  The upper bound is the min count over *exact*
+    entries with ``B' <= B``: by ascending ``B'``, only those lowering the
+    running min matter.  Keeping the union preserves both staircases, so
+    every future bound query answers identically — compaction can drop
+    work-saving facts never, only redundant ones.
+    """
+    keep: dict[tuple[int, int, bool], None] = {}
+    best_lo = -1
+    for rec in sorted(entries, key=lambda e: (-e[0], -e[1])):
+        if rec[1] > best_lo:
+            keep[rec] = None
+            best_lo = rec[1]
+    best_hi: int | None = None
+    for rec in sorted(entries, key=lambda e: (e[0], e[1])):
+        if rec[2] and (best_hi is None or rec[1] < best_hi):
+            keep[rec] = None
+            best_hi = rec[1]
+    entries[:] = list(keep)
+
+
+#: reserved memo key for whole-matrix probe facts: ``(B, count, exact)``
+#: records of the minimum-processor DP itself (a string, so it can never
+#: collide with the ``(k, i)`` stripe keys)
+_PROBE_KEY = "f"
+
+
+def _memo_record(
+    memo: dict, key: tuple[int, int] | str, entries: list | None, rec: tuple
+) -> None:
+    """Append a stripe fact, compacting the list when it grows long."""
+    if entries is None:
+        memo[key] = [rec]
+    else:
+        entries.append(rec)
+        if len(entries) > _MEMO_COMPACT_LEN:
+            _compact_entries(entries)
 
 
 def _memo_bounds(entries: list, B: int) -> tuple[int, int | None]:
@@ -111,7 +161,7 @@ def _min_processors(
     fast = perf_enabled()
     if fast and memo is None:
         memo = {}
-    rowsum = pref.axis_prefix(0)  # length n1+1
+    rowsum = pref.axis_prefix(0, reuse=True)  # length n1+1
     f = np.full(n1 + 1, _INF, dtype=np.int64)
     f[0] = 0
     for i in range(1, n1 + 1):
@@ -145,10 +195,7 @@ def _min_processors(
                 else:
                     parts = _stripe_min_parts(pref, kk, i, B, cap, est=lower)
                     rec = (B, parts, parts <= cap)
-                    if entries is None:
-                        memo[key] = [rec]  # type: ignore[index]
-                    else:
-                        entries.append(rec)
+                    _memo_record(memo, key, entries, rec)  # type: ignore[arg-type]
             else:
                 parts = _stripe_min_parts(pref, kk, i, B, cap)
             cost = f[kk] + parts
@@ -162,25 +209,93 @@ def _min_processors(
     return f if f[n1] <= m_cap else None
 
 
+def _shared_memo(pref: PrefixSum2D) -> dict | None:
+    """The stripe memo to use: sweep-shared when a sweep is active.
+
+    The memo facts are functions of the stripe and the probed bottleneck
+    alone (m never enters), so one memo soundly serves every bisection of
+    every sweep step over the same prefix.
+    """
+    if not perf_enabled():
+        return None
+    state = _sweep_current()
+    if state is not None:
+        memo = state.stripe_memo(pref)
+        if memo is not None:
+            return memo
+    return {}
+
+
 def jag_m_opt_bottleneck(
     pref: PrefixSum2D, m: int, *, ub: int | None = None, memo: dict | None = None
 ) -> int:
-    """Optimal m-way jagged bottleneck (main dimension 0) by exact bisection."""
+    """Optimal m-way jagged bottleneck (main dimension 0) by exact bisection.
+
+    Under an active :mod:`repro.sweep` context the bisection window is
+    tightened from bounds proved by earlier calls on the same prefix
+    (monotone in ``m``), the internal heuristic upper bound is skipped when
+    a same-``m`` witness is already recorded, and the stripe memo is shared
+    across sweep steps.  All of these only narrow a valid bracket or reuse
+    proven stripe facts, so the returned optimum is bit-identical to a cold
+    call's.
+    """
     if m <= 0:
         raise ParameterError("m must be positive")
+    state = _sweep_current()
+    wlb: int | None = None
+    wub: int | None = None
+    if state is not None:
+        exact, wlb, wub = state.mono_bounds(pref, "jag_m", m)
+        if exact is not None:
+            return exact
     lb = max(-(-pref.total // m), pref.max_element())
+    if wlb is not None and wlb > lb:
+        lb = wlb
     if ub is None:
-        heur = _jag_m_heur_main0(pref, m)
-        ub = heur.max_load(pref)
+        if state is not None and state.mono_witness(pref, "jag_m", m) is not None:
+            # a same-m witness is exactly what the internal heuristic would
+            # prove (or tighter); any valid ub leaves the bisection result
+            # unchanged, so skip recomputing it
+            ub = wub
+        else:
+            heur = _jag_m_heur_main0(pref, m)
+            ub = heur.max_load(pref)
+    assert ub is not None
     ub = max(lb, int(ub))
-    if memo is None and perf_enabled():
-        memo = {}  # share stripe evaluations across the bisection iterations
+    if wub is not None and wub < ub:
+        ub = max(lb, wub)
+    if memo is None:
+        memo = _shared_memo(pref)
+    # F(B) = minimum processors at bottleneck B is one non-increasing
+    # staircase shared by every m, so each probe's exact result (or its
+    # proven "> m_cap" lower bound) is recorded under _PROBE_KEY and can
+    # answer probes of *later* bisections outright.  Within a single
+    # bisection the facts never decide — the window is always the still-
+    # undecided gap — so a cold call's probe trajectory is unchanged, and
+    # a decided probe returns exactly what the DP would have computed,
+    # keeping the converged optimum bit-identical.
     while lb < ub:
         mid = (lb + ub) // 2
-        if _min_processors(pref, mid, m, memo) is not None:
+        feasible: bool | None = None
+        entries = memo.get(_PROBE_KEY) if memo is not None else None
+        if entries is not None:
+            flo, fhi = _memo_bounds(entries, mid)
+            if fhi is not None and fhi <= m:
+                feasible = True
+            elif flo > m:
+                feasible = False
+        if feasible is None:
+            f = _min_processors(pref, mid, m, memo)
+            feasible = f is not None
+            if memo is not None:
+                rec = (mid, int(f[pref.n1]), True) if f is not None else (mid, m + 1, False)
+                _memo_record(memo, _PROBE_KEY, entries, rec)
+        if feasible:
             ub = mid
         else:
             lb = mid + 1
+    if state is not None:
+        state.record_mono_opt(pref, "jag_m", m, int(lb))
     return int(lb)
 
 
@@ -192,7 +307,7 @@ def _backtrack_stripes(
     fast = perf_enabled()
     if fast and memo is None:
         memo = {}
-    rowsum = pref.axis_prefix(0)
+    rowsum = pref.axis_prefix(0, reuse=True)
     f = np.full(n1 + 1, _INF, dtype=np.int64)
     arg = np.zeros(n1 + 1, dtype=np.int64)
     f[0] = 0
@@ -228,10 +343,7 @@ def _backtrack_stripes(
                 else:
                     parts = _stripe_min_parts(pref, kk, i, B, cap, est=lower)
                     rec = (B, parts, parts <= cap)
-                    if entries is None:
-                        memo[key] = [rec]  # type: ignore[index]
-                    else:
-                        entries.append(rec)
+                    _memo_record(memo, key, entries, rec)  # type: ignore[arg-type]
             else:
                 parts = _stripe_min_parts(pref, kk, i, B, cap)
             cost = f[kk] + parts
@@ -250,7 +362,7 @@ def _backtrack_stripes(
 
 def _jag_m_opt_main0(pref: PrefixSum2D, m: int) -> Partition:
     """Optimal m-way jagged partition (§3.2.2) on main dimension 0."""
-    memo: dict | None = {} if perf_enabled() else None
+    memo = _shared_memo(pref)
     B = jag_m_opt_bottleneck(pref, m, memo=memo)
     stripe_cuts = _backtrack_stripes(pref, B, m, memo)
     P = len(stripe_cuts) - 1
@@ -262,7 +374,7 @@ def _jag_m_opt_main0(pref: PrefixSum2D, m: int) -> Partition:
     assert spare >= 0
     if spare > 0:
         # spread idle processors where they help the within-stripe balance
-        rowsum = pref.axis_prefix(0)
+        rowsum = pref.axis_prefix(0, reuse=True)
         loads = rowsum[stripe_cuts[1:]] - rowsum[stripe_cuts[:-1]]
         extra = allocate_processors(loads, spare + P) - 1
         need = need + extra
@@ -270,7 +382,7 @@ def _jag_m_opt_main0(pref: PrefixSum2D, m: int) -> Partition:
             need[int(np.argmax(need))] -= 1
     col_cuts = []
     for s in range(P):
-        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]), reuse=True)
         q = int(need[s])
         # optimal within the stripe (never worse than the greedy B-cuts)
         b = bisect_bottleneck(band, q)

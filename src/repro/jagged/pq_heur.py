@@ -20,6 +20,7 @@ from ..core.partition import Partition
 from ..core.prefix import PrefixSum2D
 from ..oned.api import ONED_METHODS
 from ..parallel.backends import parallel_stripe_cuts
+from ..sweep.state import current as _sweep_current
 from .common import build_jagged_partition, choose_pq, oriented
 
 __all__ = ["jag_pq_heur", "jag_pq_heur_cuts"]
@@ -63,9 +64,15 @@ def _jag_pq_heur_main0(
     elif P * Q != m:
         raise ParameterError(f"P*Q must equal m ({P}*{Q} != {m})")
     stripe_cuts, col_cuts = jag_pq_heur_cuts(pref, P, Q, oned)
-    return build_jagged_partition(
+    part = build_jagged_partition(
         pref, stripe_cuts, col_cuts, method="JAG-PQ-HEUR"
     )
+    state = _sweep_current()
+    if state is not None:
+        # a P×Q-way feasible witness; also transfers to the m-way class
+        # (any P×Q-way jagged partition is a (P·Q)-way jagged partition)
+        state.record_grid_ub(pref, P, Q, part.max_load(pref))
+    return part
 
 
 jag_pq_heur = oriented(_jag_pq_heur_main0)

@@ -25,6 +25,8 @@ from ..core.errors import ParameterError
 from ..core.partition import Partition
 from ..core.prefix import PrefixSum2D
 from ..oned.probe import min_parts, probe_cuts
+from ..perf.config import perf_enabled
+from ..sweep.state import current as _sweep_current
 from .common import build_jagged_partition, choose_pq, oriented
 from .pq_heur import jag_pq_heur_cuts
 
@@ -32,7 +34,15 @@ __all__ = ["jag_pq_opt", "jag_pq_opt_bottleneck", "jag_pq_opt_dp_bottleneck"]
 
 
 def _stripe_feasible(pref: PrefixSum2D, r0: int, r1: int, Q: int, B: int) -> bool:
-    """Can stripe rows ``[r0, r1)`` be cut into ``<= Q`` rectangles of load ``<= B``?"""
+    """Can stripe rows ``[r0, r1)`` be cut into ``<= Q`` rectangles of load ``<= B``?
+
+    The outer binary search re-probes the same stripes at every bisection
+    level; with the perf layer on the stripe projection (and its one-time
+    list conversion) is served from the prefix cache instead of being
+    re-materialized per probe.
+    """
+    if perf_enabled():
+        return min_parts(pref.boundary_list(1, r0, r1, reuse=True), B, cap=Q) <= Q
     band = pref.G[r1, :] - pref.G[r0, :]
     return min_parts(band, B, cap=Q) <= Q
 
@@ -71,24 +81,51 @@ def _feasible(pref: PrefixSum2D, P: int, Q: int, B: int) -> np.ndarray | None:
 def jag_pq_opt_bottleneck(
     pref: PrefixSum2D, P: int, Q: int, *, ub: int | None = None
 ) -> int:
-    """Optimal P×Q-way jagged bottleneck (main dimension 0)."""
+    """Optimal P×Q-way jagged bottleneck (main dimension 0).
+
+    Under an active :mod:`repro.sweep` context the bisection window is
+    tightened by dominance over earlier ``(P', Q')`` results on the same
+    prefix (componentwise monotonicity — plain m-monotonicity does not hold
+    across factorizations), and the internal heuristic upper bound is
+    skipped when a same-``(P, Q)`` witness is already recorded.  Both only
+    narrow a valid bracket, so the result is bit-identical to a cold call.
+    """
     total = pref.total
     m = P * Q
+    state = _sweep_current()
+    wlb: int | None = None
+    wub: int | None = None
+    if state is not None:
+        exact, wlb, wub = state.grid_bounds(pref, P, Q)
+        if exact is not None:
+            return exact
     lb = max(-(-total // m), pref.max_element())
+    if wlb is not None and wlb > lb:
+        lb = wlb
     if ub is None:
-        stripe_cuts, col_cuts = jag_pq_heur_cuts(pref, P, Q)
-        ub = 0
-        for s in range(P):
-            band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
-            cc = col_cuts[s]
-            ub = max(ub, int(np.max(band[cc[1:]] - band[cc[:-1]])))
-    ub = max(lb, ub)
+        if state is not None and state.grid_witness(pref, P, Q) is not None:
+            ub = wub  # same-(P, Q) witness: the heuristic ub is already known
+        else:
+            stripe_cuts, col_cuts = jag_pq_heur_cuts(pref, P, Q)
+            ub = 0
+            for s in range(P):
+                band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
+                cc = col_cuts[s]
+                ub = max(ub, int(np.max(band[cc[1:]] - band[cc[:-1]])))
+            if state is not None:
+                state.record_grid_ub(pref, P, Q, ub)
+    assert ub is not None
+    ub = max(lb, int(ub))
+    if wub is not None and wub < ub:
+        ub = max(lb, wub)
     while lb < ub:
         mid = (lb + ub) // 2
         if _feasible(pref, P, Q, mid) is not None:
             ub = mid
         else:
             lb = mid + 1
+    if state is not None:
+        state.record_grid_opt(pref, P, Q, int(lb))
     return int(lb)
 
 
@@ -105,7 +142,12 @@ def _jag_pq_opt_main0(
     assert stripe_cuts is not None
     col_cuts = []
     for s in range(P):
-        band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
+        if perf_enabled():
+            # same values as the G-row difference, served from the cache the
+            # feasibility probes already populated for this stripe
+            band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
+        else:
+            band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
         cc = probe_cuts(band, Q, B)
         assert cc is not None
         col_cuts.append(cc)

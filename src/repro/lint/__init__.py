@@ -10,7 +10,7 @@ ordinary linters cannot see:
   search, integer bisection) can bisect exactly.
 
 This package enforces them with an AST rule engine (:mod:`.engine`), a
-ruleset grounded in this codebase (:mod:`.rules`, RPL001–RPL005), and a CLI
+ruleset grounded in this codebase (:mod:`.rules`, RPL001–RPL007), and a CLI
 (:mod:`.cli`, installed as ``repro-lint`` / ``python -m repro.lint``).
 
 See ``docs/lint.md`` for the rule catalogue and suppression syntax.
@@ -19,6 +19,13 @@ See ``docs/lint.md`` for the rule catalogue and suppression syntax.
 from __future__ import annotations
 
 from .engine import LintResult, Violation, lint_paths
-from .rules import ALL_RULES, check_registry
+from .rules import ALL_RULES, check_budgets, check_registry
 
-__all__ = ["LintResult", "Violation", "lint_paths", "ALL_RULES", "check_registry"]
+__all__ = [
+    "LintResult",
+    "Violation",
+    "lint_paths",
+    "ALL_RULES",
+    "check_budgets",
+    "check_registry",
+]

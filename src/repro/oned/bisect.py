@@ -32,6 +32,7 @@ from ..perf.batch import probe_batch
 from ..perf.config import perf_enabled
 from ..perf.counters import _STACK as _OPS
 from ..perf.counters import bump
+from ..sweep.state import current as _sweep_current
 from .probe import as_boundary_list, min_parts, probe, probe_cuts
 
 __all__ = ["bisect_bottleneck", "partition_bisect", "feasible_bottlenecks"]
@@ -100,12 +101,36 @@ def _bounds(P: np.ndarray, m: int) -> tuple[int, int]:
     return lb, max(lb, ub)
 
 
-def bisect_bottleneck(P: np.ndarray, m: int) -> int:
-    """Optimal bottleneck of an m-way interval partition of prefix ``P``."""
+def bisect_bottleneck(
+    P: np.ndarray, m: int, *, lb: int | None = None, ub: int | None = None
+) -> int:
+    """Optimal bottleneck of an m-way interval partition of prefix ``P``.
+
+    ``lb``/``ub`` are caller-asserted brackets of the optimum (the caller is
+    trusted, like the ``ub`` hints of the exact jagged solvers); the result
+    is identical for any valid bracket because the probe is monotone in
+    ``B``.  Under an active :mod:`repro.sweep` context the bracket is
+    additionally tightened from bounds proved by earlier calls on the same
+    prefix array, and the computed optimum is recorded for later calls.
+    """
     n = len(P) - 1
     if n == 0:
         return 0
-    lb, ub = _bounds(P, m)
+    lo, hi = _bounds(P, m)
+    if lb is not None and lb > lo:
+        lo = int(lb)
+    if ub is not None and ub < hi:
+        hi = int(ub)
+    state = _sweep_current()
+    if state is not None:
+        exact, wlb, wub = state.mono_bounds(P, "bisect", m)
+        if exact is not None:
+            return exact
+        if wlb is not None and wlb > lo:
+            lo = wlb
+        if wub is not None and wub < hi:
+            hi = wub
+    lb, ub = lo, max(lo, hi)
     if perf_enabled() and isinstance(P, np.ndarray) and n >= _ND_PROBE_RATIO * m:
         # large prefix: skip the O(n) list conversion and probe the array
         # in place (each step is a ~0.6 µs method-call searchsorted, but
@@ -116,16 +141,18 @@ def bisect_bottleneck(P: np.ndarray, m: int) -> int:
                 ub = mid
             else:
                 lb = mid + 1
-        return lb
-    # hoist the list conversion out of the probe loop: every iteration
-    # probes the same prefix (the conversion is O(n) per call otherwise)
-    Pl = as_boundary_list(P)
-    while lb < ub:
-        mid = (lb + ub) // 2
-        if probe(Pl, m, mid):
-            ub = mid
-        else:
-            lb = mid + 1
+    else:
+        # hoist the list conversion out of the probe loop: every iteration
+        # probes the same prefix (the conversion is O(n) per call otherwise)
+        Pl = as_boundary_list(P)
+        while lb < ub:
+            mid = (lb + ub) // 2
+            if probe(Pl, m, mid):
+                ub = mid
+            else:
+                lb = mid + 1
+    if state is not None:
+        state.record_mono_opt(P, "bisect", m, lb)
     return lb
 
 

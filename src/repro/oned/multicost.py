@@ -80,8 +80,15 @@ def multi_cuts(M, m: int, B: int) -> np.ndarray | None:
     return cuts
 
 
-def multi_bottleneck(M, m: int) -> int:
-    """Optimal striped bottleneck by integer bisection with the multi-probe."""
+def multi_bottleneck(M, m: int, *, ub: int | None = None) -> int:
+    """Optimal striped bottleneck by integer bisection with the multi-probe.
+
+    ``ub`` is an optional starting guess for the feasible end of the
+    bracket (e.g. a bottleneck some known partition achieves).  The guess
+    is *verified* by the doubling loop before the bisection starts, so a
+    wrong hint only costs extra probes — the returned optimum is identical
+    for any hint.
+    """
     M = np.ascontiguousarray(M, dtype=np.int64)
     n = M.shape[1] - 1
     if n == 0 or M.shape[0] == 0:
@@ -94,8 +101,9 @@ def multi_bottleneck(M, m: int) -> int:
     rows = _rows(M)
     # The single-array DirectCut bound does not transfer to striped costs
     # (different intervals may be bottlenecked by different stripes), so
-    # bracket the optimum by doubling from the heaviest-stripe bound.
-    ub = max(lb, heaviest // m + max_step)
+    # bracket the optimum by doubling from the heaviest-stripe bound (or
+    # the caller's hint when given).
+    ub = max(lb, heaviest // m + max_step) if ub is None else max(lb, int(ub))
     while not probe_multi(rows, m, ub):
         ub = max(ub * 2, ub + 1)
     while lb < ub:
@@ -107,11 +115,15 @@ def multi_bottleneck(M, m: int) -> int:
     return int(lb)
 
 
-def partition_multi(M, m: int) -> tuple[int, np.ndarray]:
-    """Optimal striped 1D partition ``(bottleneck, cuts)``."""
+def partition_multi(M, m: int, *, ub: int | None = None) -> tuple[int, np.ndarray]:
+    """Optimal striped 1D partition ``(bottleneck, cuts)``.
+
+    ``ub`` is forwarded to :func:`multi_bottleneck` (a verified hint; the
+    result is identical with or without it).
+    """
     M = np.ascontiguousarray(M, dtype=np.int64)
     rows = _rows(M)
-    B = multi_bottleneck(M, m)
+    B = multi_bottleneck(M, m, ub=ub)
     cuts = multi_cuts(rows, m, B)
     assert cuts is not None
     return B, cuts

@@ -38,6 +38,7 @@ from bisect import bisect_left
 
 import numpy as np
 
+from ..perf.config import perf_enabled
 from .probe import as_boundary_list, probe, probe_cuts
 
 __all__ = ["nicol", "nicol_plus", "nicol_bottleneck", "nicol_plus_bottleneck"]
@@ -89,10 +90,15 @@ def nicol_plus_bottleneck(P: np.ndarray, m: int) -> int:
     n = len(P) - 1
     if n == 0 or int(P[-1]) == 0:
         return 0
-    total = int(P[-1])
     max_el = int(np.max(np.diff(P)))
+    return _nicol_plus_core(as_boundary_list(P), m, max_el)
+
+
+def _nicol_plus_core(P: list, m: int, max_el: int) -> int:
+    """NicolPlus search on an already-converted boundary list."""
+    n = len(P) - 1
+    total = int(P[-1])
     global_lb = max(-(-total // m), max_el)
-    P = as_boundary_list(P)
     best: int | None = None
     start = 0
     for p in range(1, m):
@@ -130,7 +136,25 @@ def nicol(P: np.ndarray, m: int) -> tuple[int, np.ndarray]:
 
 
 def nicol_plus(P: np.ndarray, m: int) -> tuple[int, np.ndarray]:
-    """Optimal 1D partition ``(bottleneck, cuts)`` via NicolPlus."""
+    """Optimal 1D partition ``(bottleneck, cuts)`` via NicolPlus.
+
+    With the perf layer enabled the boundary-list conversion is shared
+    between the bottleneck search and the cut extraction (the reference
+    path's two standalone calls each convert — the jagged heuristics pay
+    that twice per stripe solve).  Same searches, same cuts.
+    """
+    if perf_enabled() and isinstance(P, np.ndarray):
+        n = len(P) - 1
+        if n == 0 or int(P[-1]) == 0:
+            B = 0
+            Pl: list = as_boundary_list(P)
+        else:
+            max_el = int(np.max(np.diff(P)))
+            Pl = as_boundary_list(P)
+            B = _nicol_plus_core(Pl, m, max_el)
+        cuts = probe_cuts(Pl, m, B)
+        assert cuts is not None
+        return B, cuts
     B = nicol_plus_bottleneck(P, m)
     cuts = probe_cuts(P, m, B)
     assert cuts is not None

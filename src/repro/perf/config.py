@@ -19,7 +19,13 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["perf_enabled", "set_perf_enabled", "use_perf", "cache_budget_bytes"]
+__all__ = [
+    "perf_enabled",
+    "set_perf_enabled",
+    "use_perf",
+    "cache_budget_bytes",
+    "cache_min_cells",
+]
 
 _ENABLED: bool = os.environ.get("REPRO_PERF", "1").strip().lower() not in {
     "0",
@@ -65,3 +71,27 @@ def cache_budget_bytes() -> int:
     except ValueError:
         mb = _DEFAULT_CACHE_MB
     return max(1, mb) * 1024 * 1024
+
+
+#: instance size (n1·n2 cells) below which projection memoization is skipped
+#: by default: on small matrices the straight-line subtraction is cheaper
+#: than the cache key/lookup bookkeeping (measured — see the small-instance
+#: rows of BENCH_core.json and docs/performance.md), and the exact solvers
+#: that *do* win from reuse at any size request it explicitly per call.
+_DEFAULT_CACHE_MIN_CELLS = 65536
+
+
+def cache_min_cells() -> int:
+    """Memoization size threshold in cells (``REPRO_PERF_CACHE_MIN_CELLS``).
+
+    Callers that pass an explicit ``reuse=`` to the projection queries are
+    unaffected; this only sets the default for call sites that leave the
+    decision to the instance size.  ``0`` restores the pre-threshold
+    behavior (memoize always).
+    """
+    raw = os.environ.get("REPRO_PERF_CACHE_MIN_CELLS", "").strip()
+    try:
+        cells = int(raw) if raw else _DEFAULT_CACHE_MIN_CELLS
+    except ValueError:
+        cells = _DEFAULT_CACHE_MIN_CELLS
+    return max(0, cells)

@@ -78,4 +78,10 @@ def op_counters() -> Iterator[OpCounters]:
     try:
         yield c
     finally:
-        _STACK.remove(c)
+        # remove by identity, not ==: nested contexts opened at the same
+        # time hold equal dicts, and list.remove would pop the outer one,
+        # leaving this (closed) dict counting and breaking the later unwind
+        for i in reversed(range(len(_STACK))):
+            if _STACK[i] is c:
+                del _STACK[i]
+                break

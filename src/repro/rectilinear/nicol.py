@@ -22,6 +22,7 @@ from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..jagged.common import choose_pq
 from ..oned.multicost import partition_multi
+from ..perf.config import perf_enabled
 from .common import build_rectilinear_partition, grid_bottleneck
 from .uniform import uniform_cuts
 
@@ -41,6 +42,15 @@ def _stripe_matrix(pref: PrefixSum2D, cuts: np.ndarray, axis: int) -> np.ndarray
     return (G[:, cuts[1:]] - G[:, cuts[:-1]]).T
 
 
+def _validated_cuts(cuts, n: int, parts: int, what: str) -> np.ndarray:
+    out = np.asarray(cuts, dtype=np.int64)
+    if out.ndim != 1 or len(out) != parts + 1:
+        raise ParameterError(f"{what} init_cuts must have length {parts + 1}")
+    if out[0] != 0 or out[-1] != n or (np.diff(out) < 0).any():
+        raise ParameterError(f"{what} init_cuts must be nondecreasing from 0 to {n}")
+    return out
+
+
 def rect_nicol(
     A: MatrixLike,
     m: int,
@@ -48,35 +58,59 @@ def rect_nicol(
     Q: int | None = None,
     *,
     max_iters: int = 20,
+    init_cuts: tuple | None = None,
 ) -> Partition:
     """Iteratively refined ``P×Q`` rectilinear partition (§3.1, refs [9, 15]).
 
     Starts from uniform row cuts, then alternately re-optimizes the column
     and row cuts against the striped max-load cost until the bottleneck
     stops improving.
+
+    ``init_cuts`` optionally replaces the uniform starting point with a
+    caller-provided ``(row_cuts, col_cuts)`` pair (validated).  Note that a
+    different starting point changes the refinement *trajectory* and may
+    converge to a different (better or worse) local fixed point — which is
+    exactly why the sweep engine does **not** chain cuts across ``m``
+    values: its contract is bit-identity with cold calls.  The identity-
+    safe warm start used instead is internal: each striped sub-problem is
+    seeded with the incumbent grid bottleneck as a feasible upper-bound
+    hint, which :func:`~repro.oned.multicost.multi_bottleneck` verifies
+    before trusting (perf-gated; the reference path keeps the cold
+    bracket).
     """
     pref = prefix_2d(A)
     if P is None or Q is None:
         P, Q = choose_pq(m, pref.n1, pref.n2)
     elif P * Q != m:
         raise ParameterError(f"P*Q must equal m ({P}*{Q} != {m})")
-    row_cuts = uniform_cuts(pref.n1, P)
-    col_cuts = uniform_cuts(pref.n2, Q)
+    if init_cuts is not None:
+        row_init, col_init = init_cuts
+        row_cuts = _validated_cuts(row_init, pref.n1, P, "row")
+        col_cuts = _validated_cuts(col_init, pref.n2, Q, "column")
+    else:
+        row_cuts = uniform_cuts(pref.n1, P)
+        col_cuts = uniform_cuts(pref.n2, Q)
     best = grid_bottleneck(pref, row_cuts, col_cuts)
     best_cuts = (row_cuts.copy(), col_cuts.copy())
     iters_used = 0
+    fast = perf_enabled()
+    # the current cuts achieve `cur` on the grid, so `cur` upper-bounds the
+    # next refinement's striped optimum — a valid (and verified) hint
+    cur = best
     for it in range(max_iters):
         prev = best
         # refine columns against fixed rows, then rows against fixed columns;
         # each refinement's striped bottleneck IS the grid bottleneck of the
         # (fixed, refined) pair
         M = _stripe_matrix(pref, row_cuts, 0)
-        b1, col_cuts = partition_multi(M, Q)
+        b1, col_cuts = partition_multi(M, Q, ub=cur if fast else None)
+        cur = b1
         if b1 < best:
             best = b1
             best_cuts = (row_cuts.copy(), col_cuts.copy())
         M = _stripe_matrix(pref, col_cuts, 1)
-        b2, row_cuts = partition_multi(M, P)
+        b2, row_cuts = partition_multi(M, P, ub=cur if fast else None)
+        cur = b2
         iters_used = it + 1
         if b2 < best:
             best = b2

@@ -118,99 +118,102 @@ def spiral_relaxed(A: MatrixLike, m: int, *, start_side: str = "top") -> Partiti
 # ----------------------------------------------------------------------
 # exact DP (small instances) — the §3.4 construction
 # ----------------------------------------------------------------------
-def spiral_opt_bottleneck(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> int:
-    """Optimal spiral-partition bottleneck via the §3.4 dynamic program.
+def _spiral_solver(pref: PrefixSum2D):
+    """The §3.4 DP over (sub-rectangle, side, processors, consecutive skips).
 
-    State: (sub-rectangle, side to peel next, processors).  Each level peels
-    one strip for one processor off the prescribed side; the side rotates.
-    All four starting sides are tried.  Complexity O(n1²·n2²·m·max(n1,n2)) —
-    a small-instance oracle, as the paper predicts.
+    Each level peels one strip for one processor off the prescribed side and
+    rotates.  A side whose extent is ≤ 1 may instead be *skipped* (rotate
+    without peeling): peeling it would consume the whole remainder, and
+    :func:`spiral_relaxed` rotates past such sides too — the DP must search
+    a superset of the heuristic's reachable partitions or it is not an upper
+    oracle for the class.  ``skips`` counts consecutive skips (≤ 3: after
+    four the rotation is back where it started), which bounds the state and
+    guarantees termination.
     """
-    pref = prefix_2d(A)
-    cost = pref.n1 * pref.n1 * pref.n2 * pref.n2 * m
-    if cost > limit:
-        raise ParameterError(
-            f"instance too large for the spiral DP (n1²·n2²·m = {cost} > {limit})"
-        )
 
     @lru_cache(maxsize=None)
-    def solve(r0: int, r1: int, c0: int, c1: int, side_idx: int, procs: int) -> int:
+    def solve(r0: int, r1: int, c0: int, c1: int, side_idx: int, procs: int, skips: int) -> int:
         rect = Rect(r0, r1, c0, c1)
         load = pref.load(r0, r1, c0, c1)
         if procs == 1 or rect.is_empty:
             return load
-        side = SIDES[side_idx % 4]
+        side = SIDES[side_idx]
         extent = _side_extent(rect, side)
+        nxt = (side_idx + 1) % 4
         best = None
         for width in range(1, extent + 1):
             strip, rest = _strip(rect, side, width)
             sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
             if best is not None and sl >= best:
                 break  # strip load is monotone in width
-            v = max(
-                sl,
-                solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1),
-            )
+            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, nxt, procs - 1, 0))
             if best is None or v < best:
                 best = v
-        # peeling nothing from this side is also allowed (skip a rotation)
-        skip = solve(r0, r1, c0, c1, side_idx + 1, procs) if extent == 0 else None
-        if skip is not None and (best is None or skip < best):
-            best = skip
+        if extent <= 1 and skips < 3:
+            skip = solve(r0, r1, c0, c1, nxt, procs, skips + 1)
+            if best is None or skip < best:
+                best = skip
         return load if best is None else best
 
-    return min(solve(0, pref.n1, 0, pref.n2, s, m) for s in range(4))
+    return solve
+
+
+def _spiral_guard(pref: PrefixSum2D, m: int, limit: int) -> None:
+    cost = pref.n1 * pref.n1 * pref.n2 * pref.n2 * m
+    if cost > limit:
+        raise ParameterError(
+            f"instance too large for the spiral DP (n1²·n2²·m = {cost} > {limit})"
+        )
+
+
+def spiral_opt_bottleneck(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> int:
+    """Optimal spiral-partition bottleneck via the §3.4 dynamic program.
+
+    State: (sub-rectangle, side to peel next, processors, skips).  All four
+    starting sides are tried.  Complexity O(n1²·n2²·m·max(n1,n2)) — a
+    small-instance oracle, as the paper predicts.
+    """
+    pref = prefix_2d(A)
+    _spiral_guard(pref, m, limit)
+    solve = _spiral_solver(pref)
+    return min(solve(0, pref.n1, 0, pref.n2, s, m, 0) for s in range(4))
 
 
 def spiral_opt(A: MatrixLike, m: int, *, limit: int = 1 << 24) -> Partition:
     """Optimal spiral partition (small instances; backtracks the §3.4 DP)."""
     pref = prefix_2d(A)
-    target = spiral_opt_bottleneck(pref, m, limit=limit)
-    # greedy reconstruction: at each level pick any (side-consistent) strip
-    # whose max(strip, optimal rest) equals the target
+    _spiral_guard(pref, m, limit)
+    solve = _spiral_solver(pref)
+    target = min(solve(0, pref.n1, 0, pref.n2, s, m, 0) for s in range(4))
+    # backtracking: at each level take any peel (or degenerate-side skip)
+    # whose branch value equals the state's DP value
     rects: list[Rect] = []
     rect = Rect(0, pref.n1, 0, pref.n2)
-
-    @lru_cache(maxsize=None)
-    def solve(r0, r1, c0, c1, side_idx, procs) -> int:
-        inner = Rect(r0, r1, c0, c1)
-        load = pref.load(r0, r1, c0, c1)
-        if procs == 1 or inner.is_empty:
-            return load
-        side = SIDES[side_idx % 4]
-        extent = _side_extent(inner, side)
-        best = load
-        found = False
-        for width in range(1, extent + 1):
-            strip, rest = _strip(inner, side, width)
-            sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
-            if found and sl >= best:
-                break
-            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1))
-            if not found or v < best:
-                best, found = v, True
-        return best
-
-    start = min(range(4), key=lambda s: solve(0, pref.n1, 0, pref.n2, s, m))
-    side_idx = start
+    side_idx = min(range(4), key=lambda s: solve(0, pref.n1, 0, pref.n2, s, m, 0))
     procs = m
+    skips = 0
     while procs > 1 and not rect.is_empty:
-        side = SIDES[side_idx % 4]
+        value = solve(rect.r0, rect.r1, rect.c0, rect.c1, side_idx, procs, skips)
+        side = SIDES[side_idx]
         extent = _side_extent(rect, side)
+        nxt = (side_idx + 1) % 4
         chosen = None
         for width in range(1, extent + 1):
             strip, rest = _strip(rect, side, width)
             sl = pref.load(strip.r0, strip.r1, strip.c0, strip.c1)
-            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, side_idx + 1, procs - 1))
-            if v == solve(rect.r0, rect.r1, rect.c0, rect.c1, side_idx, procs):
+            v = max(sl, solve(rest.r0, rest.r1, rest.c0, rest.c1, nxt, procs - 1, 0))
+            if v == value:
                 chosen = (strip, rest)
                 break
-        if chosen is None:  # no strip achieves the value: stop peeling
-            break
-        rects.append(chosen[0])
-        rect = chosen[1]
-        side_idx += 1
-        procs -= 1
+        if chosen is not None:
+            rects.append(chosen[0])
+            rect = chosen[1]
+            procs -= 1
+            skips = 0
+        else:  # the optimum came from skipping this degenerate side
+            assert extent <= 1 and skips < 3, "DP value unreachable from state"
+            skips += 1
+        side_idx = nxt
     rects.append(rect)
     rects.extend(Rect(0, 0, 0, 0) for _ in range(m - len(rects)))
     part = Partition(rects, pref.shape, method="SPIRAL-OPT")

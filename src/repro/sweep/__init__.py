@@ -1,0 +1,39 @@
+"""Cross-call warm-start engine for m-sweeps (``repro.sweep``).
+
+Public surface:
+
+* :func:`~repro.sweep.engine.sweep` — run ``algorithms × m_values`` over
+  one matrix with warm starts, bit-identical to cold calls;
+* :func:`~repro.sweep.engine.use_sweep` — the scoped context the engine
+  (and the experiment suite's figure loops) run inside;
+* :class:`~repro.sweep.state.SweepState` / ``SweepInvariantError`` — the
+  validated per-sweep bound store.
+
+The engine imports the algorithm registry, and the algorithm modules import
+:mod:`repro.sweep.state`; the engine symbols are therefore exported lazily
+(PEP 562) so importing an algorithm module never cycles through the engine.
+"""
+
+from __future__ import annotations
+
+from .state import SweepInvariantError, SweepState, current, sweep_active
+
+__all__ = [
+    "SweepInvariantError",
+    "SweepState",
+    "SweepResult",
+    "current",
+    "sweep",
+    "sweep_active",
+    "use_sweep",
+]
+
+_ENGINE_EXPORTS = {"sweep", "use_sweep", "SweepResult"}
+
+
+def __getattr__(name: str):  # PEP 562: lazy engine import (cycle avoidance)
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,329 @@
+"""Cross-call warm-start state for m-sweeps over one load matrix.
+
+Every figure in the paper's evaluation (§4) sweeps the processor count ``m``
+over the *same* load matrix; a cold call rediscovers its bottleneck
+bisection window from scratch each time.  The optimal bottleneck of the
+m-way jagged class is monotone non-increasing in ``m``, and the P×Q-way
+class is monotone componentwise in ``(P, Q)``, so every completed bisection
+*proves* transferable facts:
+
+* an optimum ``B*(m)`` witnesses *feasibility* at ``B*(m)`` (an upper bound
+  for every ``m' >= m``) and *infeasibility* at ``B*(m) - 1`` (a lower
+  bound for every ``m' <= m``);
+* a heuristic partition witnesses feasibility of its max load for its own
+  class at its own ``m`` — an upper-bound fact exact solvers can consume;
+* across classes, any P×Q-way jagged partition *is* an (P·Q)-way jagged
+  partition, so P×Q facts transfer as upper bounds to the m-way class and
+  the m-way optimum at ``m = P·Q`` transfers as a lower bound to (P, Q).
+
+This module holds only the *state* (a context stack plus per-prefix bound
+stores); it deliberately imports nothing from the algorithm packages so the
+algorithms can import it without cycles.  The engine that drives sweeps
+lives in :mod:`repro.sweep.engine`.
+
+Soundness discipline: the stores are written exclusively with *proven*
+facts (computed optima and achieved heuristic loads), entries are keyed by
+object identity with a strong reference held for the lifetime of the sweep
+(so ``id`` reuse after garbage collection cannot alias entries), and every
+record is validated against the monotonicity laws above —
+:class:`SweepInvariantError` is raised on any contradiction, which makes a
+poisoned bound impossible to install through the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SweepInvariantError",
+    "SweepState",
+    "current",
+    "sweep_active",
+]
+
+
+class SweepInvariantError(RuntimeError):
+    """A recorded bound contradicts the monotonicity laws of its class."""
+
+
+#: number of distinct objects (prefixes / 1D prefix arrays) one sweep
+#: tracks; beyond this, new objects simply get no warm starts (bounded
+#: memory — the strong references pin every tracked object alive)
+_MAX_TRACKED = 4096
+
+#: monotone 1D/jagged class tags (optimum non-increasing in m)
+_MONO_CLASSES = ("bisect", "jag_m")
+
+
+class SweepState:
+    """Per-sweep warm-start stores, keyed by object identity.
+
+    One instance lives for the duration of a ``use_sweep()`` block.  All
+    mutating methods validate monotonicity and raise
+    :class:`SweepInvariantError` on contradictions.
+    """
+
+    __slots__ = ("_refs", "_mono_opt", "_mono_ub", "_grid_opt", "_grid_ub", "_memos")
+
+    def __init__(self) -> None:
+        # id -> strong reference (prevents GC id reuse for tracked objects)
+        self._refs: dict[int, Any] = {}
+        # (id, class) -> {m: B} proven optima / proven-feasible upper bounds
+        self._mono_opt: dict[tuple[int, str], dict[int, int]] = {}
+        self._mono_ub: dict[tuple[int, str], dict[int, int]] = {}
+        # id -> {(P, Q): B} for the P×Q-way jagged class
+        self._grid_opt: dict[int, dict[tuple[int, int], int]] = {}
+        self._grid_ub: dict[int, dict[tuple[int, int], int]] = {}
+        # id -> shared JAG-M-OPT stripe memo ((k, i) -> [(B, parts, exact)])
+        self._memos: dict[int, dict] = {}
+
+    # -- tracking -------------------------------------------------------
+
+    def _track(self, obj: Any) -> int | None:
+        """Register ``obj`` and return its identity key (None when full)."""
+        key = id(obj)
+        if key in self._refs:
+            return key
+        if len(self._refs) >= _MAX_TRACKED:
+            return None
+        self._refs[key] = obj
+        return key
+
+    # -- monotone-in-m classes (1D bisect, m-way jagged) ----------------
+
+    def mono_bounds(
+        self, obj: Any, cls: str, m: int
+    ) -> tuple[int | None, int | None, int | None]:
+        """``(exact, lb, ub)`` for class ``cls`` at ``m`` from recorded facts.
+
+        ``exact`` is the recorded optimum at ``m`` itself (or None); ``lb``
+        comes from optima at ``m' >= m`` (their bisections proved
+        infeasibility just below them, which transfers downward in ``m``);
+        ``ub`` comes from optima and feasible witnesses at ``m' <= m``
+        (feasibility transfers upward in ``m``).
+        """
+        key = id(obj)
+        if key not in self._refs:
+            return None, None, None
+        opt = self._mono_opt.get((key, cls))
+        ubs = self._mono_ub.get((key, cls))
+        exact = opt.get(m) if opt else None
+        if exact is not None:
+            return exact, exact, exact
+        lb: int | None = None
+        ub: int | None = None
+        if opt:
+            for mp, B in opt.items():
+                if mp >= m and (lb is None or B > lb):
+                    lb = B
+                if mp <= m and (ub is None or B < ub):
+                    ub = B
+        if ubs:
+            for mp, B in ubs.items():
+                if mp <= m and (ub is None or B < ub):
+                    ub = B
+        if cls == "jag_m":
+            # cross-class: any P×Q-way partition with P·Q <= m is an m-way
+            # jagged partition, so grid facts are feasible witnesses here
+            gub = self._grid_min_ub(key, m)
+            if gub is not None and (ub is None or gub < ub):
+                ub = gub
+        return None, lb, ub
+
+    def record_mono_opt(self, obj: Any, cls: str, m: int, B: int) -> None:
+        """Record a proven optimum ``B`` for class ``cls`` at ``m``."""
+        if cls not in _MONO_CLASSES:
+            raise SweepInvariantError(f"unknown monotone class {cls!r}")
+        key = self._track(obj)
+        if key is None:
+            return
+        B = int(B)
+        store = self._mono_opt.setdefault((key, cls), {})
+        prev = store.get(m)
+        if prev is not None and prev != B:
+            raise SweepInvariantError(
+                f"{cls}: optimum at m={m} recorded twice with different values "
+                f"({prev} then {B})"
+            )
+        for mp, Bp in store.items():
+            if (mp <= m and Bp < B) or (mp >= m and Bp > B):
+                raise SweepInvariantError(
+                    f"{cls}: optimum {B} at m={m} contradicts optimum {Bp} at "
+                    f"m={mp} (B* must be non-increasing in m)"
+                )
+        ubs = self._mono_ub.get((key, cls))
+        if ubs:
+            for mp, Bp in ubs.items():
+                if mp <= m and Bp < B:
+                    raise SweepInvariantError(
+                        f"{cls}: optimum {B} at m={m} exceeds the feasible "
+                        f"witness {Bp} recorded at m={mp}"
+                    )
+        store[m] = B
+
+    def mono_witness(self, obj: Any, cls: str, m: int) -> int | None:
+        """The recorded feasible witness at exactly ``m`` (or None).
+
+        Exact solvers use this to skip recomputing their internal heuristic
+        upper bound: a witness at the same ``m`` is precisely what that
+        heuristic would have produced (or tighter), and any valid upper
+        bound leaves the bisection result unchanged.
+        """
+        key = id(obj)
+        if key not in self._refs:
+            return None
+        ubs = self._mono_ub.get((key, cls))
+        return ubs.get(m) if ubs else None
+
+    def record_mono_ub(self, obj: Any, cls: str, m: int, B: int) -> None:
+        """Record a proven-feasible bottleneck ``B`` (a witness) at ``m``."""
+        if cls not in _MONO_CLASSES:
+            raise SweepInvariantError(f"unknown monotone class {cls!r}")
+        key = self._track(obj)
+        if key is None:
+            return
+        B = int(B)
+        opt = self._mono_opt.get((key, cls))
+        if opt:
+            for mp, Bp in opt.items():
+                if mp >= m and B < Bp:
+                    raise SweepInvariantError(
+                        f"{cls}: feasible witness {B} at m={m} undercuts the "
+                        f"optimum {Bp} at m={mp}"
+                    )
+        ubs = self._mono_ub.setdefault((key, cls), {})
+        prev = ubs.get(m)
+        if prev is None or B < prev:
+            ubs[m] = B
+
+    # -- the P×Q-way jagged class (componentwise monotone) --------------
+
+    def grid_bounds(
+        self, pref: Any, P: int, Q: int
+    ) -> tuple[int | None, int | None, int | None]:
+        """``(exact, lb, ub)`` for the P×Q-way class by dominance lookup.
+
+        A recorded grid dominated by ``(P, Q)`` (componentwise ``<=``)
+        yields an upper bound; a dominating grid yields a lower bound.
+        Plain m-monotonicity does **not** hold across factorizations
+        (``B*(1, 7)`` may exceed ``B*(2, 3)``), hence the dominance scan.
+        The m-way optimum at ``m = P·Q`` is a valid lower bound (the m-way
+        class contains every P×Q-way partition).
+        """
+        key = id(pref)
+        if key not in self._refs:
+            return None, None, None
+        opt = self._grid_opt.get(key)
+        ubs = self._grid_ub.get(key)
+        exact = opt.get((P, Q)) if opt else None
+        if exact is not None:
+            return exact, exact, exact
+        lb: int | None = None
+        ub: int | None = None
+        if opt:
+            for (Pp, Qp), B in opt.items():
+                if Pp <= P and Qp <= Q and (ub is None or B < ub):
+                    ub = B
+                if Pp >= P and Qp >= Q and (lb is None or B > lb):
+                    lb = B
+        if ubs:
+            for (Pp, Qp), B in ubs.items():
+                if Pp <= P and Qp <= Q and (ub is None or B < ub):
+                    ub = B
+        mono = self._mono_opt.get((key, "jag_m"))
+        if mono is not None:
+            B = mono.get(P * Q)
+            if B is not None and (lb is None or B > lb):
+                lb = B
+        return None, lb, ub
+
+    def record_grid_opt(self, pref: Any, P: int, Q: int, B: int) -> None:
+        """Record a proven P×Q-way optimum ``B``."""
+        key = self._track(pref)
+        if key is None:
+            return
+        B = int(B)
+        store = self._grid_opt.setdefault(key, {})
+        prev = store.get((P, Q))
+        if prev is not None and prev != B:
+            raise SweepInvariantError(
+                f"jag_pq: optimum at ({P},{Q}) recorded twice with different "
+                f"values ({prev} then {B})"
+            )
+        for (Pp, Qp), Bp in store.items():
+            if (Pp <= P and Qp <= Q and Bp < B) or (Pp >= P and Qp >= Q and Bp > B):
+                raise SweepInvariantError(
+                    f"jag_pq: optimum {B} at ({P},{Q}) contradicts optimum "
+                    f"{Bp} at ({Pp},{Qp}) (componentwise monotonicity)"
+                )
+        store[(P, Q)] = B
+
+    def grid_witness(self, pref: Any, P: int, Q: int) -> int | None:
+        """The recorded feasible witness at exactly ``(P, Q)`` (or None)."""
+        key = id(pref)
+        if key not in self._refs:
+            return None
+        ubs = self._grid_ub.get(key)
+        return ubs.get((P, Q)) if ubs else None
+
+    def record_grid_ub(self, pref: Any, P: int, Q: int, B: int) -> None:
+        """Record a proven-feasible P×Q-way bottleneck (a witness)."""
+        key = self._track(pref)
+        if key is None:
+            return
+        B = int(B)
+        opt = self._grid_opt.get(key)
+        if opt:
+            for (Pp, Qp), Bp in opt.items():
+                if Pp >= P and Qp >= Q and B < Bp:
+                    raise SweepInvariantError(
+                        f"jag_pq: feasible witness {B} at ({P},{Q}) undercuts "
+                        f"the optimum {Bp} at ({Pp},{Qp})"
+                    )
+        ubs = self._grid_ub.setdefault(key, {})
+        prev = ubs.get((P, Q))
+        if prev is None or B < prev:
+            ubs[(P, Q)] = B
+
+    def _grid_min_ub(self, key: int, m: int) -> int | None:
+        """Tightest grid fact with ``P·Q <= m`` (an m-way feasible witness)."""
+        out: int | None = None
+        for store in (self._grid_opt.get(key), self._grid_ub.get(key)):
+            if store:
+                for (Pp, Qp), B in store.items():
+                    if Pp * Qp <= m and (out is None or B < out):
+                        out = B
+        return out
+
+    # -- shared JAG-M-OPT stripe memo -----------------------------------
+
+    def stripe_memo(self, pref: Any) -> dict | None:
+        """The sweep-shared stripe memo for ``pref`` (None when full).
+
+        Entries are ``(k, i) -> [(B, parts, exact)]`` facts about stripe
+        ``[k, i)`` of this prefix; they are m-independent, so one memo
+        serves every bisection probe of every sweep step.
+        """
+        key = self._track(pref)
+        if key is None:
+            return None
+        memo = self._memos.get(key)
+        if memo is None:
+            memo = {}
+            self._memos[key] = memo
+        return memo
+
+
+#: the active sweep contexts (a stack, like the op-counter stack: the
+#: innermost context wins; truthiness is the only cost when inactive)
+_STACK: list[SweepState] = []
+
+
+def current() -> SweepState | None:
+    """The innermost active sweep state, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+def sweep_active() -> bool:
+    """True when a sweep context is open."""
+    return bool(_STACK)

@@ -61,6 +61,19 @@ def test_nested_contexts_both_count(P):
     assert outer["probe_calls"] == 2  # outer context saw both events
 
 
+def test_nested_equal_contexts_unwind_by_identity(P):
+    # contexts opened back-to-back hold ==-equal dicts the whole time; the
+    # unwind must pop each context by identity, not by value, or an inner
+    # exit evicts the outer dict and leaves a closed one on the stack
+    with op_counters() as outer:
+        with op_counters():
+            with op_counters() as inner:
+                probe(P, 3, int(P[-1]))
+        probe(P, 3, int(P[-1]))  # after inner contexts closed
+    assert outer["probe_calls"] == 2
+    assert inner["probe_calls"] == 1  # closed contexts stopped counting
+
+
 def test_opcounters_missing_and_total():
     ops = OpCounters({"probe_calls": 2, "probe_steps": 10})
     assert ops["never_bumped"] == 0

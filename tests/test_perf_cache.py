@@ -15,7 +15,7 @@ import pytest
 from repro.core.prefix import PrefixSum1D, PrefixSum2D
 from repro.perf import LRUCache, use_perf
 from repro.perf.cache import sizeof_entry
-from repro.perf.config import cache_budget_bytes
+from repro.perf.config import cache_budget_bytes, cache_min_cells
 
 
 @pytest.fixture()
@@ -91,8 +91,8 @@ def test_cache_budget_env_knob(monkeypatch):
 
 def test_axis_prefix_memoized_and_frozen(pref):
     with use_perf(True):
-        p1 = pref.axis_prefix(1, 3, 9)
-        p2 = pref.axis_prefix(1, 3, 9)
+        p1 = pref.axis_prefix(1, 3, 9, reuse=True)
+        p2 = pref.axis_prefix(1, 3, 9, reuse=True)
         assert p1 is p2  # served from the memo, not recomputed
         assert not p1.flags.writeable
         with pytest.raises(ValueError):
@@ -120,8 +120,8 @@ def test_axis_prefix_bypasses_cache_when_disabled(pref):
 
 def test_boundary_list_memoized_and_exact(pref):
     with use_perf(True):
-        bl1 = pref.boundary_list(1, 2, 11)
-        bl2 = pref.boundary_list(1, 2, 11)
+        bl1 = pref.boundary_list(1, 2, 11, reuse=True)
+        bl2 = pref.boundary_list(1, 2, 11, reuse=True)
         assert bl1 is bl2
         assert bl1 == pref.axis_prefix(1, 2, 11).tolist()
     with use_perf(False):
@@ -139,13 +139,36 @@ def test_band_prefix_equals_reference(pref):
             assert ref[0] == 0 == opt[0]
 
 
-def test_transpose_is_involutive_under_perf(pref):
+def test_transpose_is_involutive_under_perf():
+    # at/above the size threshold the transposed prefix is pinned: built
+    # once, and the back-link makes the pair involutive
+    big = PrefixSum2D(np.ones((260, 260), dtype=np.int64))
+    assert big.n1 * big.n2 >= cache_min_cells()
     with use_perf(True):
-        T = pref.transpose()
-        assert T.transpose() is pref
-        assert pref.transpose() is T  # built once
+        T = big.transpose()
+        assert T.transpose() is big
+        assert big.transpose() is T  # built once
     with use_perf(False):
+        assert big.transpose() is not big.transpose()
+    np.testing.assert_array_equal(T.G, big.G.T)
+
+
+def test_transpose_cache_is_adaptive(pref):
+    # below the threshold the copy is cheaper than pinning the pair into a
+    # reference cycle: every call returns a fresh prefix...
+    assert pref.n1 * pref.n2 < cache_min_cells()
+    with use_perf(True):
         assert pref.transpose() is not pref.transpose()
+        # ...except during a sweep, where warm-start facts are keyed by
+        # object identity and the -VER variants need a stable transpose
+        from repro.sweep.engine import use_sweep
+
+        with use_sweep():
+            T = pref.transpose()
+            assert pref.transpose() is T
+            assert T.transpose() is pref
+        # the pin installed by the sweep persists for the instance lifetime
+        assert pref.transpose() is T
     np.testing.assert_array_equal(T.G, pref.G.T)
 
 
@@ -166,5 +189,61 @@ def test_max_element_cached_and_correct():
 def test_projection_cache_is_per_instance(pref):
     other = PrefixSum2D(np.ones((4, 4), dtype=np.int64))
     with use_perf(True):
-        pref.axis_prefix(1, 0, 2)
+        pref.axis_prefix(1, 0, 2, reuse=True)
         assert other._cache is None or len(other.projection_cache()) == 0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive memoization dispatch (size-defaulted `reuse`)
+
+
+def test_small_instance_skips_memo_by_default(pref):
+    # 17×23 is far below the default threshold: size-defaulted queries take
+    # the straight-line path (fresh writable arrays, nothing cached) so the
+    # small-instance heuristics do not pay cache bookkeeping
+    assert pref.n1 * pref.n2 < cache_min_cells()
+    with use_perf(True):
+        p1 = pref.axis_prefix(1, 3, 9)
+        p2 = pref.axis_prefix(1, 3, 9)
+        assert p1 is not p2
+        assert p1.flags.writeable
+        bl = pref.boundary_list(1, 3, 9)
+        assert bl == p1.tolist()
+    assert pref._cache is None or len(pref._cache) == 0
+
+
+def test_explicit_reuse_overrides_size_default(pref):
+    with use_perf(True):
+        p1 = pref.axis_prefix(0, 1, 5, reuse=True)
+        assert pref.axis_prefix(0, 1, 5, reuse=True) is p1
+        # reuse=False forces the straight-line path even after a cached hit
+        p3 = pref.axis_prefix(0, 1, 5, reuse=False)
+        assert p3 is not p1
+        np.testing.assert_array_equal(p3, p1)
+
+
+def test_cache_min_cells_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_CACHE_MIN_CELLS", "100")
+    assert cache_min_cells() == 100
+    monkeypatch.setenv("REPRO_PERF_CACHE_MIN_CELLS", "not-a-number")
+    assert cache_min_cells() == 65536  # falls back to the default
+    monkeypatch.setenv("REPRO_PERF_CACHE_MIN_CELLS", "-5")
+    assert cache_min_cells() == 0  # floored: memoize always
+
+
+def test_zero_threshold_restores_always_memoize(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_CACHE_MIN_CELLS", "0")
+    rng = np.random.default_rng(5)
+    small = PrefixSum2D(rng.integers(0, 50, (17, 23)))  # fresh: default unresolved
+    with use_perf(True):
+        assert small.axis_prefix(1, 3, 9) is small.axis_prefix(1, 3, 9)
+
+
+def test_size_default_resolved_once_per_instance(monkeypatch, pref):
+    with use_perf(True):
+        pref.axis_prefix(1, 3, 9)  # resolves the default (below threshold)
+    monkeypatch.setenv("REPRO_PERF_CACHE_MIN_CELLS", "0")
+    with use_perf(True):
+        # the instance keeps its resolved default; only fresh prefixes see
+        # the new threshold (documented process-level-knob behavior)
+        assert pref.axis_prefix(1, 3, 9) is not pref.axis_prefix(1, 3, 9)

@@ -170,6 +170,35 @@ def test_partitions_bit_identical_across_modes(method):
         assert ref == opt, f"{method} diverged (seed={seed}, m={m})"
 
 
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_allocate_processors_identical_across_modes(data):
+    # the perf path replaces Fraction-keyed ratio comparisons with exact
+    # cross-multiplied ints; the allocation must match entry for entry,
+    # ties included (first minimal stripe wins in both)
+    from repro.jagged.m_heur import allocate_processors
+
+    P = data.draw(st.integers(1, 20))
+    m = data.draw(st.integers(P, 12 * P))
+    # zeros force the max(q, 1) bump + overflow shave; huge loads would
+    # break any float shortcut (2**60 > 2**53)
+    loads = np.array(
+        data.draw(
+            st.lists(
+                st.one_of(st.integers(0, 50), st.integers(2**60, 2**62)),
+                min_size=P,
+                max_size=P,
+            )
+        ),
+        dtype=object,
+    )
+    with use_perf(False):
+        ref = allocate_processors(loads.astype(np.int64, copy=False), m)
+    with use_perf(True):
+        opt = allocate_processors(loads.astype(np.int64, copy=False), m)
+    assert ref.tolist() == opt.tolist()
+
+
 def test_partitions_bit_identical_with_zeros_and_spikes():
     # sparse + spiky loads exercise the clamping/tie-break corners
     rng = np.random.default_rng(7)

@@ -84,6 +84,16 @@ class TestSpiralOpt:
 
         assert spiral_opt_bottleneck(A, m) >= lower_bound(A, m) or A.sum() == 0
 
+    def test_dp_may_skip_degenerate_sides(self):
+        # regression: spiral_relaxed rotates past a side whose extent is <= 1,
+        # so the DP must search that skip too or the "optimum" can exceed the
+        # heuristic (this instance: 7 vs 6 before the fix)
+        A = np.array([[2, 2], [2, 2], [5, 2], [2, 2]])
+        assert spiral_opt_bottleneck(A, 5) == 6
+        p = spiral_opt(A, 5)
+        p.validate()
+        assert p.max_load(A) == 6
+
     def test_size_guard(self, rng):
         A = rng.integers(1, 5, (64, 64))
         with pytest.raises(ParameterError):

@@ -1,0 +1,292 @@
+"""Tests for the sweep engine: bit-identity, order invariance, poisoning.
+
+The sweep contract is the repo's strongest: for every algorithm and every
+sweep order, warm-started results equal cold-call results — same rectangle
+sets, same bottlenecks.  These tests enforce it on randomized instances,
+and additionally verify that the validated bound store makes installing a
+*wrong* ("poisoned") bound through the public API impossible: every
+recording method checks the monotonicity laws and raises
+:class:`~repro.sweep.state.SweepInvariantError` on contradiction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prefix import PrefixSum2D
+from repro.core.registry import partition_2d
+from repro.instances import uniform
+from repro.sweep import (
+    SweepInvariantError,
+    SweepResult,
+    SweepState,
+    current,
+    sweep,
+    sweep_active,
+    use_sweep,
+)
+
+ALGOS = ["JAG-PQ-HEUR", "JAG-M-HEUR", "JAG-PQ-OPT", "JAG-M-OPT", "RECT-NICOL"]
+M_VALUES = [4, 6, 12, 20, 36]
+
+
+def _rects(part) -> list[tuple[int, int, int, int]]:
+    return sorted((r.r0, r.r1, r.c0, r.c1) for r in part.rects)
+
+
+def _cold(A, name, m):
+    # a fresh prefix per call: no shared cache, no sweep context
+    return partition_2d(PrefixSum2D(A), m, name)
+
+
+@pytest.fixture(scope="module")
+def A():
+    return uniform(40, 1.3, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity of sweep() vs per-m cold calls
+
+
+@pytest.mark.parametrize(
+    "order", ["ascending", "descending", "shuffled"], ids=lambda o: f"order={o}"
+)
+def test_sweep_bit_identical_to_cold_calls(A, order):
+    ms = sorted(M_VALUES)
+    if order == "descending":
+        ms = ms[::-1]
+    elif order == "shuffled":
+        ms = list(np.random.default_rng(7).permutation(ms))
+    res = sweep(A, ALGOS, ms)
+    for name in ALGOS:
+        for m in ms:
+            cold = _cold(A, name, int(m))
+            warm = res[(name, int(m))]
+            assert _rects(warm) == _rects(cold), (name, m)
+            pc = PrefixSum2D(A)
+            assert warm.max_load(pc) == cold.max_load(pc), (name, m)
+
+
+def test_use_sweep_call_order_invariance(A):
+    # exact solvers first vs heuristics first: facts flow differently, but
+    # every result must match the cold baseline either way
+    pref1, pref2 = PrefixSum2D(A), PrefixSum2D(A)
+    out1, out2 = {}, {}
+    with use_sweep():
+        for name in ALGOS:
+            for m in M_VALUES:
+                out1[(name, m)] = partition_2d(pref1, m, name)
+    with use_sweep():
+        for name in reversed(ALGOS):
+            for m in reversed(M_VALUES):
+                out2[(name, m)] = partition_2d(pref2, m, name)
+    for key in out1:
+        assert _rects(out1[key]) == _rects(out2[key]) == _rects(_cold(A, *key)), key
+
+
+def test_sweep_transparent_for_hierarchical(A):
+    # algorithms with no sweep hooks run unchanged inside a sweep context
+    res = sweep(A, ["HIER-RB", "HIER-RELAXED"], [8, 16])
+    for name in ("HIER-RB", "HIER-RELAXED"):
+        for m in (8, 16):
+            assert _rects(res[(name, m)]) == _rects(_cold(A, name, m))
+
+
+def test_sweep_result_api(A):
+    res = sweep(A, "JAG-M-HEUR", [4, 9])
+    assert isinstance(res, SweepResult)
+    assert len(res) == 2
+    assert res[("jag-m-heur", 4)] is res.parts[("JAG-M-HEUR", 4)]
+    bots = res.bottlenecks()
+    for key, part in res:
+        assert bots[key] == part.max_load(res.pref)
+
+
+def test_sweep_context_is_scoped():
+    assert not sweep_active() and current() is None
+    with use_sweep() as state:
+        assert sweep_active() and current() is state
+        with use_sweep() as inner:
+            assert current() is inner  # innermost wins
+        assert current() is state
+    assert not sweep_active() and current() is None
+
+
+# ---------------------------------------------------------------------------
+# Warm starts actually fire (not just stay transparent)
+
+
+def test_exact_hit_short_circuits_second_call(A):
+    from repro.jagged.m_opt import jag_m_opt_bottleneck
+
+    pref = PrefixSum2D(A)
+    with use_sweep() as state:
+        b1 = jag_m_opt_bottleneck(pref, 12)
+        assert state.mono_bounds(pref, "jag_m", 12)[0] == b1
+        b2 = jag_m_opt_bottleneck(pref, 12)
+    assert b1 == b2 == jag_m_opt_bottleneck(PrefixSum2D(A), 12)
+
+
+def test_heuristic_witness_recorded_and_consumed(A):
+    pref = PrefixSum2D(A)
+    with use_sweep() as state:
+        heur = partition_2d(pref, 16, "JAG-M-HEUR-HOR")
+        wit = state.mono_witness(pref, "jag_m", 16)
+        assert wit is not None and wit == heur.max_load(pref)
+        exact = partition_2d(pref, 16, "JAG-M-OPT-HOR")
+        opt = state.mono_bounds(pref, "jag_m", 16)[0]
+        assert opt is not None and opt == exact.max_load(pref) <= wit
+
+
+def test_monotone_bound_transfer_across_m(A):
+    from repro.jagged.m_opt import jag_m_opt_bottleneck
+
+    pref = PrefixSum2D(A)
+    with use_sweep() as state:
+        b_large = jag_m_opt_bottleneck(pref, 20)
+        _, lb, _ = state.mono_bounds(pref, "jag_m", 10)
+        assert lb is not None and lb >= b_large  # transfers downward in m
+        b_small = jag_m_opt_bottleneck(pref, 10)
+        assert b_small >= b_large
+        _, _, ub = state.mono_bounds(pref, "jag_m", 40)
+        assert ub is not None and ub <= b_small  # feasibility transfers up
+
+
+def test_cross_class_grid_fact_bounds_m_way():
+    state = SweepState()
+    obj = object()
+    state.record_grid_ub(obj, 3, 4, 120)
+    # a 3×4-way partition is a 12-way jagged partition: ub for every m >= 12
+    assert state.mono_bounds(obj, "jag_m", 12)[2] == 120
+    assert state.mono_bounds(obj, "jag_m", 30)[2] == 120
+    assert state.mono_bounds(obj, "jag_m", 11)[2] is None
+    # ... and the m-way optimum at m = P·Q lower-bounds the grid class
+    state.record_mono_opt(obj, "jag_m", 12, 100)
+    assert state.grid_bounds(obj, 3, 4)[1] == 100
+
+
+def test_stripe_memo_shared_across_calls(A):
+    pref = PrefixSum2D(A)
+    with use_sweep() as state:
+        memo = state.stripe_memo(pref)
+        assert memo == {}
+        partition_2d(pref, 12, "JAG-M-OPT-HOR")
+        assert state.stripe_memo(pref) is memo
+        assert len(memo) > 0  # the DP deposited stripe facts
+
+
+# ---------------------------------------------------------------------------
+# Poisoning: wrong bounds cannot be installed through the public API
+
+
+def test_record_rejects_contradicting_monotone_optima():
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 10, 100)
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(obj, "jag_m", 10, 99)  # duplicate m, new value
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(obj, "jag_m", 20, 150)  # larger m, larger B
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(obj, "jag_m", 5, 50)  # smaller m, smaller B
+
+
+def test_record_rejects_witness_undercutting_optimum():
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "bisect", 10, 100)
+    with pytest.raises(SweepInvariantError):
+        # nothing at m=5 can beat the optimum recorded at m=10
+        state.record_mono_ub(obj, "bisect", 5, 99)
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(obj, "bisect", 20, 80)
+        state.record_mono_ub(obj, "bisect", 20, 79)
+
+
+def test_record_rejects_optimum_above_feasible_witness():
+    state = SweepState()
+    obj = object()
+    state.record_mono_ub(obj, "jag_m", 10, 100)
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(obj, "jag_m", 10, 101)  # witness already beat it
+
+
+def test_record_rejects_unknown_class():
+    state = SweepState()
+    with pytest.raises(SweepInvariantError):
+        state.record_mono_opt(object(), "jag_pq", 4, 10)
+
+
+def test_grid_records_reject_componentwise_contradictions():
+    state = SweepState()
+    obj = object()
+    state.record_grid_opt(obj, 2, 3, 100)
+    with pytest.raises(SweepInvariantError):
+        state.record_grid_opt(obj, 2, 3, 90)
+    with pytest.raises(SweepInvariantError):
+        state.record_grid_opt(obj, 4, 6, 150)  # dominates but worse
+    with pytest.raises(SweepInvariantError):
+        state.record_grid_opt(obj, 1, 2, 50)  # dominated but better
+    with pytest.raises(SweepInvariantError):
+        # a feasible witness at a dominated grid implies B*(2,3) <= 99,
+        # contradicting the recorded optimum 100
+        state.record_grid_ub(obj, 1, 2, 99)
+    # incomparable factorizations are unconstrained (no m-monotonicity)
+    state.record_grid_opt(obj, 6, 1, 160)
+
+
+def test_grid_dominance_bounds():
+    state = SweepState()
+    obj = object()
+    state.record_grid_opt(obj, 2, 3, 100)
+    exact, lb, ub = state.grid_bounds(obj, 4, 6)
+    assert exact is None and lb is None and ub == 100
+    exact, lb, ub = state.grid_bounds(obj, 1, 3)
+    assert exact is None and lb == 100 and ub is None
+    # incomparable: no transfer either way
+    assert state.grid_bounds(obj, 3, 2) == (None, None, None)
+
+
+def test_untracked_objects_get_no_bounds():
+    state = SweepState()
+    assert state.mono_bounds(object(), "jag_m", 4) == (None, None, None)
+    assert state.grid_bounds(object(), 2, 2) == (None, None, None)
+    assert state.mono_witness(object(), "jag_m", 4) is None
+    assert state.grid_witness(object(), 2, 2) is None
+
+
+def test_tracking_capacity_bound():
+    from repro.sweep import state as state_mod
+
+    state = SweepState()
+    cap = state_mod._MAX_TRACKED
+    keep = [object() for _ in range(cap + 5)]
+    for i, obj in enumerate(keep):
+        state.record_mono_opt(obj, "jag_m", 4, 10)
+        if i < cap:
+            assert state.mono_bounds(obj, "jag_m", 4)[0] == 10
+    # beyond capacity: silently no warmth, never an error
+    assert state.mono_bounds(keep[-1], "jag_m", 4) == (None, None, None)
+    assert state.stripe_memo(keep[-1]) is None
+
+
+def test_identity_keying_holds_references():
+    # the store must pin tracked objects so a GC'd id cannot alias a new one
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 4, 10)
+    assert state._refs[id(obj)] is obj
+
+
+def test_bisect_class_records_under_sweep():
+    from repro.oned.bisect import bisect_bottleneck
+
+    rng = np.random.default_rng(0)
+    P = np.zeros(65, dtype=np.int64)
+    np.cumsum(rng.integers(0, 50, 64), out=P[1:])
+    with use_sweep() as state:
+        b = bisect_bottleneck(P, 8)
+        assert state.mono_bounds(P, "bisect", 8)[0] == b
+        assert bisect_bottleneck(P, 8) == b
+    assert bisect_bottleneck(P, 8) == b  # cold call agrees after the sweep
