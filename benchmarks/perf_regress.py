@@ -36,8 +36,13 @@ heuristic witnesses, shared stripe memos) against the same sweep as per-m
 cold calls, perf layer on in **both** modes so the measured delta is the
 sweep engine alone.  Every (algorithm, m) cell is asserted bit-identical
 to its cold call — that is the engine's contract — and
-``BENCH_sweep.json`` is written.  Run via ``make bench-sweep`` / ``make
-bench-sweep-smoke``.
+``BENCH_sweep.json`` is written.  Two store phases follow: the same
+sweeps warm-started from a freshly populated on-disk fact store
+(``store_families``: populate vs warm-from-disk vs cold timings, identity
+gated per cell), and the hierarchical witness gate (``hier_witnesses``:
+persisted node-decision facts must drop the warm run's ``cut_calls``
+counter below cold while the rectangles stay bit-identical).  Run via
+``make bench-sweep`` / ``make bench-sweep-smoke``.
 
 ``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
 root and exits non-zero if any row anywhere records ``identical: false`` —
@@ -428,13 +433,17 @@ def _sweep_configs(tiny: bool) -> list[tuple[str, np.ndarray, list[str], tuple[i
 
 def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
     """Whole-sweep warm starts vs per-m cold calls; identity is the gate."""
-    from repro.sweep import sweep
+    import tempfile
+
+    from repro.perf.counters import op_counters
+    from repro.sweep import sweep, use_sweep
 
     tiny = profile == "tiny"
     repeats = 3 if tiny else 2
     rows = []
     families: dict[str, dict[str, float]] = {}
     failures = []
+    cold_keys: dict[tuple[str, str, int], Any] = {}
     with use_perf(True):
         for fam, A, names, ms in _sweep_configs(tiny):
             warm_s = float("inf")
@@ -459,7 +468,8 @@ def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
                         ref = partition_2d(A, m, name)
                         cold_s = min(cold_s, time.perf_counter() - t0)
                     assert ref is not None
-                    identical = _rects_key(res[(name, m)]) == _rects_key(ref)
+                    cold_keys[(fam, name, m)] = _rects_key(ref)
+                    identical = _rects_key(res[(name, m)]) == cold_keys[(fam, name, m)]
                     fam_identical = fam_identical and identical
                     if not identical:
                         failures.append(f"{fam}/{name}/m={m}")
@@ -488,6 +498,85 @@ def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
                 f"sweep {warm_s * 1e3:9.2f}ms  {speedup:6.2f}x"
             )
 
+    # warm-from-disk: a first sweep populates the persistent fact store, a
+    # second run (fresh prefixes, facts only from disk) must be both faster
+    # than the cold per-m baseline and bit-identical to it
+    store_families: dict[str, dict[str, float]] = {}
+    with use_perf(True), tempfile.TemporaryDirectory() as tmp:
+        for fam, A, names, ms in _sweep_configs(tiny):
+            spath = Path(tmp) / f"{fam}.json"
+            t0 = time.perf_counter()
+            sweep(A, names, ms, store=spath)
+            populate_s = time.perf_counter() - t0
+            disk_s = float("inf")
+            res = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                out = sweep(A, names, ms, store=spath)
+                dt = time.perf_counter() - t0
+                if dt < disk_s:
+                    disk_s, res = dt, out
+            assert res is not None
+            fam_identical = True
+            for name in names:
+                for m in sorted(set(ms)):
+                    if _rects_key(res[(name, m)]) != cold_keys[(fam, name, m)]:
+                        fam_identical = False
+                        failures.append(f"store/{fam}/{name}/m={m}")
+            cold_total = families[fam]["cold_total_s"]
+            speedup = cold_total / disk_s if disk_s > 0 else float("inf")
+            store_families[fam] = {
+                "populate_s": round(populate_s, 6),
+                "warm_disk_s": round(disk_s, 6),
+                "cold_total_s": cold_total,
+                "speedup": round(speedup, 3),
+                "identical": fam_identical,
+            }
+            print(
+                f"-- store {fam:12s} populate {populate_s * 1e3:9.2f}ms, "
+                f"warm-from-disk {disk_s * 1e3:9.2f}ms vs cold "
+                f"{cold_total * 1e3:9.2f}ms  {speedup:6.2f}x  "
+                f"{'ok' if fam_identical else 'MISMATCH'}"
+            )
+
+    # hierarchical witness consumption: persisted node-decision facts must
+    # remove cut-kernel work on a warm run (the op-counter drop is
+    # deterministic) while the rectangles stay bit-identical
+    hier_rows = []
+    n_hier = 64 if tiny else 128
+    m_hier = 16 if tiny else 64
+    A_hier = peak(n_hier, seed=0)
+    with use_perf(True), tempfile.TemporaryDirectory() as tmp:
+        spath = Path(tmp) / "hier.json"
+        for name in ("HIER-RB", "HIER-RELAXED"):
+            with op_counters() as ops:
+                ref = partition_2d(PrefixSum2D(A_hier), m_hier, name)
+            cold_calls = int(ops.get("cut_calls", 0))
+            with use_sweep(store=spath):
+                partition_2d(PrefixSum2D(A_hier), m_hier, name)
+            with use_sweep(store=spath):
+                with op_counters() as ops:
+                    warm = partition_2d(PrefixSum2D(A_hier), m_hier, name)
+            warm_calls = int(ops.get("cut_calls", 0))
+            identical = _rects_key(warm) == _rects_key(ref)
+            dropped = warm_calls < cold_calls
+            if not identical:
+                failures.append(f"hier_witness/{name}")
+            if not dropped:
+                failures.append(f"hier_witness/{name} (no cut_calls drop)")
+            hier_rows.append(
+                {
+                    "name": f"hier_witness/{name}/m={m_hier}",
+                    "cold_cut_calls": cold_calls,
+                    "warm_cut_calls": warm_calls,
+                    "identical": identical and dropped,
+                }
+            )
+            print(
+                f"hier_witness/{name}/m={m_hier}  cut_calls {cold_calls} -> "
+                f"{warm_calls}  {'ok' if identical and dropped else 'MISMATCH'}"
+            )
+
     doc = {
         "schema": 1,
         "generated_by": "benchmarks/perf_regress.py --sweep",
@@ -497,6 +586,8 @@ def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
         "machine": platform.machine(),
         "benches": rows,
         "families": families,
+        "store_families": store_families,
+        "hier_witnesses": hier_rows,
         "all_identical": not failures,
     }
     out_path.write_text(json.dumps(doc, indent=2) + "\n")

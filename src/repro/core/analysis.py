@@ -9,6 +9,7 @@ lower bound) into a single dataclass with a text rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 import numpy as np
 
@@ -70,23 +71,29 @@ def analyze(A: MatrixLike, partition: Partition) -> PartitionReport:
     loads = partition.loads(pref).astype(np.int64)
     active = [r for r in partition.rects if not r.is_empty]
     lb = lower_bound(pref, partition.m)
-    lavg = pref.total / partition.m if partition.m else 0.0
+    maxload = int(loads.max(initial=0))
     aspects = [
         max(r.height / r.width, r.width / r.height) for r in active if r.area > 0
     ]
+    # ratio metrics go through Fraction with one final float conversion:
+    # dividing big-int loads as floats rounds twice and drifts past 2^53
     return PartitionReport(
         method=partition.method,
         shape=partition.shape,
         m=partition.m,
         active=len(active),
         total_load=pref.total,
-        max_load=int(loads.max(initial=0)),
+        max_load=maxload,
         min_load=int(loads.min(initial=0)),
-        mean_load=float(loads.mean()) if len(loads) else 0.0,
+        mean_load=float(Fraction(pref.total, partition.m)) if partition.m else 0.0,
         std_load=float(loads.std()) if len(loads) else 0.0,
-        imbalance=(int(loads.max(initial=0)) / lavg - 1.0) if lavg else 0.0,
+        imbalance=(
+            float(Fraction(maxload * partition.m - pref.total, pref.total))
+            if pref.total and partition.m
+            else 0.0
+        ),
         lower_bound=lb,
-        optimality_gap=(int(loads.max(initial=0)) / lb - 1.0) if lb else 0.0,
+        optimality_gap=float(Fraction(maxload - lb, lb)) if lb else 0.0,
         comm_volume=communication_volume(partition),
         max_boundary=max_boundary(partition),
         worst_aspect=float(max(aspects)) if aspects else 1.0,

@@ -10,6 +10,7 @@ easily find which processor a given cell is allocated to".
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -189,12 +190,18 @@ class Partition:
         return int(self.loads(A).max())
 
     def imbalance(self, A: MatrixLike) -> float:
-        """Load imbalance ``Lmax / Lavg - 1`` (Section 2.1)."""
+        """Load imbalance ``Lmax / Lavg - 1`` (Section 2.1).
+
+        Evaluated as the exact rational ``(Lmax·m − total) / total`` with a
+        single correctly-rounded conversion to float: the naive
+        ``Lmax / (total / m)`` rounds twice and drifts once loads exceed
+        2^53.
+        """
         pref = prefix_2d(A)
-        lavg = pref.total / self.m
-        if lavg == 0:
+        total = pref.total
+        if total == 0:
             return 0.0
-        return self.max_load(pref) / lavg - 1.0
+        return float(Fraction(self.max_load(pref) * self.m - total, total))
 
     # ------------------------------------------------------------------
     # ownership

@@ -66,9 +66,28 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for figure cells and per-algorithm dispatch "
         "(default 1 = serial; outputs are byte-identical for any N)",
     )
+    parser.add_argument(
+        "--sweep-store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="persist sweep facts to PATH across runs (content-addressed; "
+        "results stay byte-identical, repeat runs start warm; equivalent "
+        "to setting $REPRO_SWEEP_STORE)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.sweep_store is not None:
+        import os
+
+        from ..sweep import set_default_store
+
+        # set the env var too (not just the module default) so spawned
+        # pool workers inherit the store path with the environment
+        store_path = os.fspath(args.sweep_store)
+        os.environ["REPRO_SWEEP_STORE"] = store_path
+        set_default_store(store_path)
     figs = sorted(ALL_RUNNABLE) if args.all else (args.figures or [])
     if not figs and args.gallery is None:
         parser.error("choose figures with --figures, run --all, or use --gallery")

@@ -19,6 +19,8 @@ Runs in ``O(m log max(n1, n2))``: one binary search per tree node.
 
 from __future__ import annotations
 
+from math import gcd
+
 import numpy as np
 
 from ..core.errors import ParameterError
@@ -27,6 +29,7 @@ from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
 from ..parallel.backends import parallel_grow_tree
 from ..perf.config import perf_enabled
+from ..sweep.state import current as _sweep_current
 from .cuts import best_weighted_cut, best_weighted_cut_win
 from .tree import grow_tree, tree_to_partition
 
@@ -63,23 +66,49 @@ def _rb_chooser(variant: str):
         # the integer-numerator windowed scores order exactly like the
         # Fractions of the reference path
         fast = perf_enabled()
+        # the cut decision only depends on the *ratio* m1:m2 — targets use
+        # ``(c·a)//(c·b) = a//b`` and scores scale uniformly — so the fast
+        # path searches with the gcd-reduced weights and sweep contexts
+        # memoize per (sub-rectangle, dim, reduced ratio): every node of a
+        # smaller power-of-two sweep step replays a larger step's decision
+        # without touching the cut kernel
+        d = gcd(m1, m2) or 1
+        g1, g2 = m1 // d, m2 // d
+        reduced = ((g1, g2),) if g1 == g2 else ((g1, g2), (g2, g1))
+        memo = None
+        if fast:
+            state = _sweep_current()
+            if state is not None:
+                memo = state.hier_memo(pref, "rb")
         best = None  # (value, dim, cut_abs, wl, wr)
         dims = _candidate_dims(variant, rect, depth)
         fallback = tuple(d for d in (0, 1) if d not in dims)
         for dim_set in (dims, fallback):
             for dim in dim_set:
                 if fast:
-                    # work on the memoized un-rebased projection directly
-                    if dim == 0:
-                        p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
-                        j0, j1 = rect.r0, rect.r1
+                    mkey = (rect.r0, rect.r1, rect.c0, rect.c1, dim, g1, g2)
+                    if memo is not None and mkey in memo:
+                        fact = memo[mkey]
                     else:
-                        p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
-                        j0, j1 = rect.c0, rect.c1
-                    found2 = best_weighted_cut_win(p, j0, j1, orientations)
-                    if found2 is None:
+                        # work on the memoized un-rebased projection directly
+                        if dim == 0:
+                            p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
+                            j0, j1 = rect.r0, rect.r1
+                        else:
+                            p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
+                            j0, j1 = rect.c0, rect.c1
+                        found2 = best_weighted_cut_win(p, j0, j1, reduced)
+                        if found2 is None:
+                            fact = None
+                        else:
+                            cut_rel, value, rl, _rr = found2
+                            fact = (cut_rel, value, 0 if g1 == g2 or rl == g1 else 1)
+                        if memo is not None:
+                            memo[mkey] = fact
+                    if fact is None:
                         continue
-                    cut_rel, value, wl, wr = found2
+                    cut_rel, value, widx = fact
+                    wl, wr = orientations[widx]
                     cut_abs = (rect.r0 if dim == 0 else rect.c0) + cut_rel
                     if best is None or value < best[0]:
                         best = (value, dim, cut_abs, wl, wr)
@@ -120,4 +149,13 @@ def hier_rb(A: MatrixLike, m: int, variant: str = "load") -> Partition:
     root = parallel_grow_tree(pref, m, "rb", variant)
     if root is None:
         root = grow_tree(pref, m, _rb_chooser(variant))
-    return tree_to_partition(root, pref, f"HIER-RB-{variant.upper()}", m)
+    part = tree_to_partition(root, pref, f"HIER-RB-{variant.upper()}", m)
+    state = _sweep_current()
+    if state is not None:
+        # the achieved max load is a feasible witness for the class —
+        # persisted (and scale-transferred) by the disk store; scoped by
+        # variant since different variants reach different partitions
+        state.record_mono_ub(
+            pref, "hier_rb", m, part.max_load(pref), kw={"variant": variant}
+        )
+    return part

@@ -21,6 +21,7 @@ from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..core.rectangle import Rect
 from ..parallel.backends import parallel_grow_tree
 from ..perf.config import perf_enabled
+from ..sweep.state import current as _sweep_current
 from .cuts import best_relaxed_split, best_relaxed_split_win
 from .rb import HIER_VARIANTS, _band, _candidate_dims
 from .tree import grow_tree, tree_to_partition
@@ -34,17 +35,33 @@ def _relaxed_chooser(variant: str):
         dims = _candidate_dims(variant, rect, depth)
         fallback = tuple(d for d in (0, 1) if d not in dims)
         fast = perf_enabled()
+        # sweep contexts memoize per (sub-rectangle, dim, m): unlike RB the
+        # split depends on the full m (float averages L/j), so facts only
+        # replay at the same node processor count — still a hit whenever
+        # variants share subtrees or the same m recurs across cells
+        memo = None
+        if fast:
+            state = _sweep_current()
+            if state is not None:
+                memo = state.hier_memo(pref, "relaxed")
         for dim_set in (dims, fallback):
             for dim in dim_set:
                 if fast:
-                    # windowed split on the memoized un-rebased projection
-                    # (bit-identical to rebasing first; see cuts.py)
-                    if dim == 0:
-                        p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
-                        found = best_relaxed_split_win(p, rect.r0, rect.r1, m)
+                    mkey = (rect.r0, rect.r1, rect.c0, rect.c1, dim, m)
+                    if memo is not None and mkey in memo:
+                        found = memo[mkey]
                     else:
-                        p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
-                        found = best_relaxed_split_win(p, rect.c0, rect.c1, m)
+                        # windowed split on the memoized un-rebased
+                        # projection (bit-identical to rebasing first;
+                        # see cuts.py)
+                        if dim == 0:
+                            p = pref.axis_prefix(0, rect.c0, rect.c1, reuse=True)
+                            found = best_relaxed_split_win(p, rect.r0, rect.r1, m)
+                        else:
+                            p = pref.axis_prefix(1, rect.r0, rect.r1, reuse=True)
+                            found = best_relaxed_split_win(p, rect.c0, rect.c1, m)
+                        if memo is not None:
+                            memo[mkey] = found
                 else:
                     found = best_relaxed_split(_band(pref, rect, dim), m)
                 if found is None:
@@ -80,4 +97,12 @@ def hier_relaxed(A: MatrixLike, m: int, variant: str = "load") -> Partition:
     root = parallel_grow_tree(pref, m, "relaxed", variant)
     if root is None:
         root = grow_tree(pref, m, _relaxed_chooser(variant))
-    return tree_to_partition(root, pref, f"HIER-RELAXED-{variant.upper()}", m)
+    part = tree_to_partition(root, pref, f"HIER-RELAXED-{variant.upper()}", m)
+    state = _sweep_current()
+    if state is not None:
+        # achieved max load = feasible class witness (persisted and
+        # scale-transferred by the disk store), scoped by variant
+        state.record_mono_ub(
+            pref, "hier_relaxed", m, part.max_load(pref), kw={"variant": variant}
+        )
+    return part

@@ -197,8 +197,15 @@ def _jag_m_heur_main0(
     state = _sweep_current()
     if state is not None:
         # the achieved max load is an m-way jagged partition of this prefix,
-        # i.e. a proven-feasible witness the exact solver can start from
-        state.record_mono_ub(pref, "jag_m", m, best.max_load(pref))
+        # i.e. a proven-feasible witness the exact solver can start from.
+        # Scoped by the non-default kwargs: a different num_stripes/oned is
+        # a different producer, and facts must never cross-contaminate
+        # (unconstrained queries still see every scope's witnesses)
+        scope = {
+            "num_stripes": None if num_stripes in (None, "sqrt") else num_stripes,
+            "oned": None if oned == "nicolplus" else oned,
+        }
+        state.record_mono_ub(pref, "jag_m", m, best.max_load(pref), kw=scope)
     return best
 
 

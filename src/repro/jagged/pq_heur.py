@@ -70,8 +70,11 @@ def _jag_pq_heur_main0(
     state = _sweep_current()
     if state is not None:
         # a P×Q-way feasible witness; also transfers to the m-way class
-        # (any P×Q-way jagged partition is a (P·Q)-way jagged partition)
-        state.record_grid_ub(pref, P, Q, part.max_load(pref))
+        # (any P×Q-way jagged partition is a (P·Q)-way jagged partition).
+        # Scoped by the non-default 1D solver so a weaker oned's witness
+        # never masquerades as the default producer's fact
+        scope = {"oned": None if oned == "nicolplus" else oned}
+        state.record_grid_ub(pref, P, Q, part.max_load(pref), kw=scope)
     return part
 
 

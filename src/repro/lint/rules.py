@@ -1,4 +1,4 @@
-"""The repro ruleset: RPL001–RPL007.
+"""The repro ruleset: RPL001–RPL008.
 
 Each rule encodes one invariant the paper's algorithms rely on; see
 ``docs/lint.md`` for the catalogue with worked examples.
@@ -28,9 +28,11 @@ __all__ = [
     "RegistryRule",
     "NoInputMutationRule",
     "ComplexityBudgetRule",
+    "ComplexityClaimRule",
     "ExperimentsCoverageRule",
     "check_registry",
     "check_budgets",
+    "check_claims",
     "ALL_RULES",
     "ALL_PROJECT_RULES",
 ]
@@ -766,6 +768,123 @@ class ComplexityBudgetRule(ProjectRule):
         yield from check_budgets(probe_ctx.rel)
 
 
+#: ``O(...)`` complexity claims, one paren nesting level deep — enough for
+#: every claim in the tree (``O(m log max(n1, n2))``)
+_CLAIM_RE = re.compile(r"O\((?:[^()]|\([^()]*\))*\)")
+
+
+def _normalize_claim(claim: str) -> str:
+    """Canonical form of one ``O(...)`` claim for cross-document comparison.
+
+    Lowercases, drops backticks/whitespace and multiplication dots/stars
+    (``O(n·m)`` == ``O(n*m)`` == ``O(nm)``), and rewrites superscripts to
+    carets (``m²`` == ``m^2``) — cosmetic typography must not count as a
+    mismatch, while any real difference (another variable, another factor)
+    still does.
+    """
+    out = claim.lower().replace("`", "")
+    for ch in ("·", "×", "*", " ", "\t", "\n"):
+        out = out.replace(ch, "")
+    return out.replace("²", "^2").replace("³", "^3")
+
+
+def check_claims(
+    algorithms: dict[str, Callable[..., Any]],
+    docs_text: str,
+    anchor_path: str = "src/repro/core/registry.py",
+    anchor_line: int = 1,
+) -> list[Violation]:
+    """RPL008 core check, factored out so tests can run it on fake registries.
+
+    Every ``O(...)`` claim in the docstrings reachable from the registry —
+    each entry's unwrapped implementation and its defining module — must
+    appear (normalized) in ``docs/algorithms.md``.  A claim the catalogue
+    does not carry is either stale code documentation or a catalogue gap;
+    both drift silently without this check.
+    """
+    import sys
+
+    doc_claims = {_normalize_claim(c) for c in _CLAIM_RE.findall(docs_text)}
+    out: list[Violation] = []
+    seen: set[tuple[str, str]] = set()
+    for name in sorted(algorithms):
+        fn = algorithms[name]
+        if not callable(fn):
+            continue  # RPL004's finding, not ours
+        target = inspect.unwrap(fn)
+        module = sys.modules.get(getattr(target, "__module__", ""))
+        sources = [
+            (getattr(target, "__module__", "?"), inspect.getdoc(module) or ""),
+            (
+                f"{getattr(target, '__module__', '?')}."
+                f"{getattr(target, '__qualname__', '?')}",
+                inspect.getdoc(target) or "",
+            ),
+        ]
+        for src, doc in sources:
+            for claim in _CLAIM_RE.findall(doc):
+                key = (src, _normalize_claim(claim))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if key[1] not in doc_claims:
+                    out.append(
+                        Violation(
+                            path=anchor_path,
+                            line=anchor_line,
+                            col=1,
+                            rule="RPL008",
+                            message=(
+                                f"complexity claim {claim!r} in the docstring "
+                                f"of {src} does not appear in "
+                                "docs/algorithms.md (normalized "
+                                f"{key[1]!r})"
+                            ),
+                        )
+                    )
+    return out
+
+
+class ComplexityClaimRule(ProjectRule):
+    """RPL008 — docstring complexity claims stay in sync with the catalogue.
+
+    ``docs/algorithms.md`` is the source of truth for the complexity of
+    every algorithm; module and function docstrings repeat those bounds
+    next to the code.  This rule walks the registry (unwrapping shims like
+    RPL004/RPL007 do), extracts every ``O(...)`` claim from the reachable
+    docstrings, and reports claims the catalogue does not carry.  Like the
+    other registry rules it runs only when the linted tree contains
+    ``core/registry.py`` and skips quietly when ``docs/algorithms.md``
+    cannot be located.
+    """
+
+    code = "RPL008"
+    name = "complexity-claims"
+    rationale = (
+        "every O(...) claim in a registry-reachable docstring must appear "
+        "in docs/algorithms.md, so code comments and the catalogue cannot "
+        "drift apart"
+    )
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Violation]:
+        registry_ctx = next(
+            (
+                ctx
+                for ctx in files
+                if ctx.path.as_posix().endswith("repro/core/registry.py")
+            ),
+            None,
+        )
+        if registry_ctx is None:
+            return
+        docs_text = RegistryRule._find_docs(registry_ctx.path)
+        if docs_text is None:
+            return
+        from ..core.registry import ALGORITHMS
+
+        yield from check_claims(ALGORITHMS, docs_text, registry_ctx.rel)
+
+
 #: per-file rules, in code order
 ALL_RULES: list[Rule] = [
     PrefixSumRule(),
@@ -779,4 +898,5 @@ ALL_PROJECT_RULES: list[ProjectRule] = [
     RegistryRule(),
     ComplexityBudgetRule(),
     ExperimentsCoverageRule(),
+    ComplexityClaimRule(),
 ]

@@ -5,9 +5,14 @@ Public surface:
 * :func:`~repro.sweep.engine.sweep` — run ``algorithms × m_values`` over
   one matrix with warm starts, bit-identical to cold calls;
 * :func:`~repro.sweep.engine.use_sweep` — the scoped context the engine
-  (and the experiment suite's figure loops) run inside;
+  (and the experiment suite's figure loops) run inside; takes an optional
+  disk-backed store;
+* :class:`~repro.sweep.store.SweepStore` — content-addressed persistence
+  of sweep facts across processes (``REPRO_SWEEP_STORE`` /
+  ``repro-experiments --sweep-store``);
 * :class:`~repro.sweep.state.SweepState` / ``SweepInvariantError`` — the
-  validated per-sweep bound store.
+  validated per-sweep bound store, facts keyed by canonicalized solver
+  kwargs (:func:`~repro.sweep.state.canonical_scope`).
 
 The engine imports the algorithm registry, and the algorithm modules import
 :mod:`repro.sweep.state`; the engine symbols are therefore exported lazily
@@ -16,19 +21,30 @@ The engine imports the algorithm registry, and the algorithm modules import
 
 from __future__ import annotations
 
-from .state import SweepInvariantError, SweepState, current, sweep_active
+from .state import (
+    SweepInvariantError,
+    SweepState,
+    canonical_scope,
+    current,
+    sweep_active,
+)
 
 __all__ = [
     "SweepInvariantError",
     "SweepState",
     "SweepResult",
+    "SweepStore",
+    "canonical_scope",
     "current",
+    "instance_digest",
+    "set_default_store",
     "sweep",
     "sweep_active",
     "use_sweep",
 ]
 
-_ENGINE_EXPORTS = {"sweep", "use_sweep", "SweepResult"}
+_ENGINE_EXPORTS = {"sweep", "use_sweep", "SweepResult", "set_default_store"}
+_STORE_EXPORTS = {"SweepStore", "instance_digest"}
 
 
 def __getattr__(name: str):  # PEP 562: lazy engine import (cycle avoidance)
@@ -36,4 +52,8 @@ def __getattr__(name: str):  # PEP 562: lazy engine import (cycle avoidance)
         from . import engine
 
         return getattr(engine, name)
+    if name in _STORE_EXPORTS:
+        from . import store
+
+        return getattr(store, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,6 +28,8 @@ they execute per-stripe solves whose inputs are already fixed — so
 
 from __future__ import annotations
 
+import os
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -35,24 +37,63 @@ from typing import Iterator, Sequence
 from ..core.partition import Partition
 from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from .state import _STACK, SweepState
+from .store import SweepStore
 
-__all__ = ["SweepResult", "sweep", "use_sweep"]
+__all__ = ["SweepResult", "set_default_store", "sweep", "use_sweep"]
+
+#: module-level default store path (set by ``--sweep-store``); the
+#: ``REPRO_SWEEP_STORE`` env var is the fallback, read at scope entry so
+#: spawned worker processes inherit it through the environment
+_DEFAULT_STORE: str | None = None
+
+
+def set_default_store(path: str | None) -> None:
+    """Set the process-wide default store path (None restores the env var)."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = path
+
+
+def _resolve_store(store: SweepStore | str | os.PathLike | None) -> SweepStore | None:
+    if store is None:
+        path = _DEFAULT_STORE or os.environ.get("REPRO_SWEEP_STORE") or None
+        return SweepStore(path) if path else None
+    if isinstance(store, SweepStore):
+        return store
+    return SweepStore(store)
 
 
 @contextmanager
-def use_sweep() -> Iterator[SweepState]:
+def use_sweep(
+    store: SweepStore | str | os.PathLike | None = None,
+) -> Iterator[SweepState]:
     """Open a warm-start scope: calls inside share proven bounds.
 
     Results stay bit-identical to cold calls; only the work to reach them
     shrinks.  Contexts nest — the innermost state wins — and the state
     (with every strong reference it holds) is dropped when the block exits.
+
+    ``store`` optionally attaches a disk-backed fact store
+    (:class:`~repro.sweep.store.SweepStore`, or a path): persisted facts
+    for instances touched inside the scope are loaded on first touch and
+    the scope's proven facts are flushed back on exit.  With no explicit
+    argument, :func:`set_default_store` and then the ``REPRO_SWEEP_STORE``
+    env var are consulted.  A flush failure (e.g. an unwritable path) is
+    reported as a :class:`RuntimeWarning`, never an exception — the
+    in-memory results are already correct without the store.
     """
-    state = SweepState()
+    resolved = _resolve_store(store)
+    if resolved is not None:
+        resolved.load()
+    state = SweepState(store=resolved)
     _STACK.append(state)
     try:
         yield state
     finally:
         _STACK.remove(state)
+        try:
+            state.flush_to_store()
+        except (OSError, ValueError) as exc:
+            warnings.warn(f"sweep store flush failed: {exc}", RuntimeWarning)
 
 
 @dataclass
@@ -87,6 +128,8 @@ def sweep(
     A: MatrixLike,
     algorithms: Sequence[str] | str,
     m_values: Sequence[int],
+    *,
+    store: SweepStore | str | os.PathLike | None = None,
     **kw: object,
 ) -> SweepResult:
     """Partition ``A`` with every algorithm at every ``m``, warm-started.
@@ -101,8 +144,14 @@ def sweep(
         the solvers start from the heuristic witnesses, mirroring Figure 7.
     m_values:
         Processor counts to sweep.
+    store:
+        Optional disk-backed fact store (or a path) — see
+        :func:`use_sweep`.
     **kw:
-        Forwarded to every algorithm call (e.g. ``num_stripes``).
+        Forwarded to every algorithm call (e.g. ``num_stripes``).  Facts
+        recorded by kwargs-sensitive producers are scoped by those kwargs
+        (:func:`repro.sweep.state.canonical_scope`), so cells run with
+        different kwargs never share a ``(class, m)`` bound unsoundly.
 
     Returns
     -------
@@ -117,7 +166,7 @@ def sweep(
     ms = tuple(int(m) for m in m_values)
     pref = prefix_2d(A)
     result = SweepResult(pref=pref, algorithms=names, m_values=ms)
-    with use_sweep():
+    with use_sweep(store=store):
         for name in names:
             # descending m: large-m optima prove lower bounds for every
             # smaller m (see module docstring); results are order-invariant

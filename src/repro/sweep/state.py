@@ -16,10 +16,27 @@ class is monotone componentwise in ``(P, Q)``, so every completed bisection
   partition, so P×Q facts transfer as upper bounds to the m-way class and
   the m-way optimum at ``m = P·Q`` transfers as a lower bound to (P, Q).
 
+Facts are additionally keyed by a canonicalized **kwargs scope**: solver
+kwargs that constrain the solution space (e.g. ``num_stripes``) change what
+"the optimum" means, so facts recorded under different kwargs must never
+share a ``(class, m)`` slot — the same keying the disk store
+(:mod:`repro.sweep.store`) uses.  Two sound transfers cross the scope
+boundary, both derived from "a constrained partition is still a partition
+of the class":
+
+* a feasible witness (or optimum) recorded under *any* scope is an upper
+  bound for the **unconstrained** (empty) scope at the same or larger
+  ``m``;
+* an **unconstrained** optimum is a lower bound for every constrained
+  scope (a constraint can only worsen the optimum).
+
 This module holds only the *state* (a context stack plus per-prefix bound
 stores); it deliberately imports nothing from the algorithm packages so the
 algorithms can import it without cycles.  The engine that drives sweeps
-lives in :mod:`repro.sweep.engine`.
+lives in :mod:`repro.sweep.engine`; disk persistence lives in
+:mod:`repro.sweep.store` and is attached per state via the ``store``
+constructor argument (the state calls back into it through duck typing, so
+no import edge exists here either).
 
 Soundness discipline: the stores are written exclusively with *proven*
 facts (computed optima and achieved heuristic loads), entries are keyed by
@@ -32,11 +49,13 @@ poisoned bound impossible to install through the public API.
 
 from __future__ import annotations
 
-from typing import Any
+import numbers
+from typing import Any, Mapping
 
 __all__ = [
     "SweepInvariantError",
     "SweepState",
+    "canonical_scope",
     "current",
     "sweep_active",
 ]
@@ -51,31 +70,90 @@ class SweepInvariantError(RuntimeError):
 #: memory — the strong references pin every tracked object alive)
 _MAX_TRACKED = 4096
 
-#: monotone 1D/jagged class tags (optimum non-increasing in m)
-_MONO_CLASSES = ("bisect", "jag_m")
+#: monotone class tags (optimum non-increasing in m).  ``bisect`` and
+#: ``jag_m`` are consumed by the exact solvers; ``hier_rb`` and
+#: ``hier_relaxed`` hold the hierarchical heuristics' achieved loads as
+#: class-feasibility witnesses (persisted and scale-transferred by the
+#: disk store — the hierarchical *decisions* themselves are warm-started
+#: through the node memos, see :meth:`SweepState.hier_memo`).
+_MONO_CLASSES = ("bisect", "jag_m", "hier_rb", "hier_relaxed")
+
+#: a kwargs scope: canonicalized, hashable, JSON-round-trippable
+Scope = tuple[tuple[str, str], ...]
+
+#: the unconstrained scope (no result-affecting kwargs)
+NO_SCOPE: Scope = ()
+
+
+def _canon_value(v: Any) -> str:
+    """Canonical string form of one kwargs value (type-tagged)."""
+    if isinstance(v, bool):
+        return f"bool:{v}"
+    if isinstance(v, numbers.Integral):
+        return f"int:{int(v)}"
+    if isinstance(v, str):
+        return f"str:{v}"
+    if isinstance(v, float):
+        return f"float:{v!r}"
+    return f"repr:{v!r}"
+
+
+def canonical_scope(kw: Mapping[str, Any] | None) -> Scope:
+    """Canonicalize solver kwargs into a fact-store scope key.
+
+    ``None`` and ``{}`` are the unconstrained scope; ``None``-valued
+    entries are dropped (an explicit default); remaining items are sorted
+    by name and values are reduced to type-tagged strings so the scope is
+    hashable, order-independent and survives a JSON round trip unchanged.
+    """
+    if not kw:
+        return NO_SCOPE
+    if isinstance(kw, tuple):
+        # already a canonical scope (a store replaying persisted facts)
+        return kw
+    items = [(str(k), _canon_value(v)) for k, v in kw.items() if v is not None]
+    items.sort()
+    return tuple(items)
 
 
 class SweepState:
-    """Per-sweep warm-start stores, keyed by object identity.
+    """Per-sweep warm-start stores, keyed by object identity and scope.
 
     One instance lives for the duration of a ``use_sweep()`` block.  All
     mutating methods validate monotonicity and raise
-    :class:`SweepInvariantError` on contradictions.
+    :class:`SweepInvariantError` on contradictions.  ``store`` optionally
+    attaches a disk-backed fact store (:mod:`repro.sweep.store`): tracked
+    2D prefixes are then seeded from disk on first touch and harvested
+    back on :meth:`flush_to_store`.
     """
 
-    __slots__ = ("_refs", "_mono_opt", "_mono_ub", "_grid_opt", "_grid_ub", "_memos")
+    __slots__ = (
+        "_refs",
+        "_mono_opt",
+        "_mono_ub",
+        "_grid_opt",
+        "_grid_ub",
+        "_memos",
+        "_store",
+        "_digests",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, store: Any = None) -> None:
         # id -> strong reference (prevents GC id reuse for tracked objects)
         self._refs: dict[int, Any] = {}
-        # (id, class) -> {m: B} proven optima / proven-feasible upper bounds
-        self._mono_opt: dict[tuple[int, str], dict[int, int]] = {}
-        self._mono_ub: dict[tuple[int, str], dict[int, int]] = {}
-        # id -> {(P, Q): B} for the P×Q-way jagged class
-        self._grid_opt: dict[int, dict[tuple[int, int], int]] = {}
-        self._grid_ub: dict[int, dict[tuple[int, int], int]] = {}
-        # id -> shared JAG-M-OPT stripe memo ((k, i) -> [(B, parts, exact)])
-        self._memos: dict[int, dict] = {}
+        # (id, class, scope) -> {m: B} proven optima / feasible upper bounds
+        self._mono_opt: dict[tuple[int, str, Scope], dict[int, int]] = {}
+        self._mono_ub: dict[tuple[int, str, Scope], dict[int, int]] = {}
+        # (id, scope) -> {(P, Q): B} for the P×Q-way jagged class
+        self._grid_opt: dict[tuple[int, Scope], dict[tuple[int, int], int]] = {}
+        self._grid_ub: dict[tuple[int, Scope], dict[tuple[int, int], int]] = {}
+        # (id, tag) -> shared memo; tags: "stripe" (JAG-M-OPT stripe facts),
+        # "rb" / "relaxed" (hierarchical node decisions)
+        self._memos: dict[tuple[int, str], dict] = {}
+        # the attached disk store (duck-typed; see repro.sweep.store)
+        self._store = store
+        # id -> (digest, scale) cache maintained by the store
+        self._digests: dict[int, tuple[str, int]] = {}
 
     # -- tracking -------------------------------------------------------
 
@@ -87,12 +165,31 @@ class SweepState:
         if len(self._refs) >= _MAX_TRACKED:
             return None
         self._refs[key] = obj
+        if self._store is not None:
+            # install this instance's persisted facts before any are read;
+            # record_* re-entry is safe because the id is registered above
+            self._store.seed_state(self, obj)
         return key
 
-    # -- monotone-in-m classes (1D bisect, m-way jagged) ----------------
+    def _query_key(self, obj: Any) -> int | None:
+        """Identity key for a *read*; seeds from the disk store on first touch.
+
+        Without a store, reads never track (exactly the pre-store
+        behavior: an object nobody recorded facts for has no warmth).
+        With a store attached, the first read of a content-addressable
+        instance loads its persisted facts.
+        """
+        key = id(obj)
+        if key in self._refs:
+            return key
+        if self._store is not None and self._store.is_instance(obj):
+            return self._track(obj)
+        return None
+
+    # -- monotone-in-m classes ------------------------------------------
 
     def mono_bounds(
-        self, obj: Any, cls: str, m: int
+        self, obj: Any, cls: str, m: int, *, kw: Mapping[str, Any] | None = None
     ) -> tuple[int | None, int | None, int | None]:
         """``(exact, lb, ub)`` for class ``cls`` at ``m`` from recorded facts.
 
@@ -100,13 +197,18 @@ class SweepState:
         comes from optima at ``m' >= m`` (their bisections proved
         infeasibility just below them, which transfers downward in ``m``);
         ``ub`` comes from optima and feasible witnesses at ``m' <= m``
-        (feasibility transfers upward in ``m``).
+        (feasibility transfers upward in ``m``).  Facts live in the scope
+        of ``kw``; the unconstrained scope additionally sees every scope's
+        feasibility facts, and constrained scopes additionally see
+        unconstrained optima as lower bounds (module docstring).
         """
         key = id(obj)
         if key not in self._refs:
-            return None, None, None
-        opt = self._mono_opt.get((key, cls))
-        ubs = self._mono_ub.get((key, cls))
+            key = self._query_key(obj)  # type: ignore[assignment]
+            if key is None:
+                return None, None, None
+        scope = canonical_scope(kw)
+        opt = self._mono_opt.get((key, cls, scope))
         exact = opt.get(m) if opt else None
         if exact is not None:
             return exact, exact, exact
@@ -118,11 +220,31 @@ class SweepState:
                     lb = B
                 if mp <= m and (ub is None or B < ub):
                     ub = B
+        ubs = self._mono_ub.get((key, cls, scope))
         if ubs:
             for mp, B in ubs.items():
                 if mp <= m and (ub is None or B < ub):
                     ub = B
-        if cls == "jag_m":
+        if scope == NO_SCOPE:
+            # constrained feasibility transfers to the unconstrained class
+            for (k2, c2, s2), table in self._mono_ub.items():
+                if k2 == key and c2 == cls and s2 != NO_SCOPE:
+                    for mp, B in table.items():
+                        if mp <= m and (ub is None or B < ub):
+                            ub = B
+            for (k2, c2, s2), table in self._mono_opt.items():
+                if k2 == key and c2 == cls and s2 != NO_SCOPE:
+                    for mp, B in table.items():
+                        if mp <= m and (ub is None or B < ub):
+                            ub = B
+        else:
+            # the unconstrained optimum lower-bounds every constrained one
+            base = self._mono_opt.get((key, cls, NO_SCOPE))
+            if base:
+                for mp, B in base.items():
+                    if mp >= m and (lb is None or B > lb):
+                        lb = B
+        if cls == "jag_m" and scope == NO_SCOPE:
             # cross-class: any P×Q-way partition with P·Q <= m is an m-way
             # jagged partition, so grid facts are feasible witnesses here
             gub = self._grid_min_ub(key, m)
@@ -130,15 +252,18 @@ class SweepState:
                 ub = gub
         return None, lb, ub
 
-    def record_mono_opt(self, obj: Any, cls: str, m: int, B: int) -> None:
+    def record_mono_opt(
+        self, obj: Any, cls: str, m: int, B: int, *, kw: Mapping[str, Any] | None = None
+    ) -> None:
         """Record a proven optimum ``B`` for class ``cls`` at ``m``."""
         if cls not in _MONO_CLASSES:
             raise SweepInvariantError(f"unknown monotone class {cls!r}")
         key = self._track(obj)
         if key is None:
             return
+        scope = canonical_scope(kw)
         B = int(B)
-        store = self._mono_opt.setdefault((key, cls), {})
+        store = self._mono_opt.setdefault((key, cls, scope), {})
         prev = store.get(m)
         if prev is not None and prev != B:
             raise SweepInvariantError(
@@ -151,7 +276,7 @@ class SweepState:
                     f"{cls}: optimum {B} at m={m} contradicts optimum {Bp} at "
                     f"m={mp} (B* must be non-increasing in m)"
                 )
-        ubs = self._mono_ub.get((key, cls))
+        ubs = self._mono_ub.get((key, cls, scope))
         if ubs:
             for mp, Bp in ubs.items():
                 if mp <= m and Bp < B:
@@ -159,39 +284,84 @@ class SweepState:
                         f"{cls}: optimum {B} at m={m} exceeds the feasible "
                         f"witness {Bp} recorded at m={mp}"
                     )
+        if scope == NO_SCOPE:
+            # every scope's feasibility facts cap the unconstrained optimum
+            for (k2, c2, s2), table in list(self._mono_ub.items()) + list(
+                self._mono_opt.items()
+            ):
+                if k2 != key or c2 != cls or s2 == NO_SCOPE:
+                    continue
+                for mp, Bp in table.items():
+                    if mp <= m and Bp < B:
+                        raise SweepInvariantError(
+                            f"{cls}: unconstrained optimum {B} at m={m} exceeds "
+                            f"the feasible witness {Bp} at m={mp} "
+                            f"(scope {dict(s2)!r})"
+                        )
+        else:
+            base = self._mono_opt.get((key, cls, NO_SCOPE))
+            if base:
+                for mp, Bp in base.items():
+                    if mp >= m and B < Bp:
+                        raise SweepInvariantError(
+                            f"{cls}: constrained optimum {B} at m={m} "
+                            f"(scope {dict(scope)!r}) undercuts the "
+                            f"unconstrained optimum {Bp} at m={mp}"
+                        )
         store[m] = B
 
-    def mono_witness(self, obj: Any, cls: str, m: int) -> int | None:
+    def mono_witness(
+        self, obj: Any, cls: str, m: int, *, kw: Mapping[str, Any] | None = None
+    ) -> int | None:
         """The recorded feasible witness at exactly ``m`` (or None).
 
         Exact solvers use this to skip recomputing their internal heuristic
-        upper bound: a witness at the same ``m`` is precisely what that
-        heuristic would have produced (or tighter), and any valid upper
-        bound leaves the bisection result unchanged.
+        upper bound: a witness at the same ``m`` is feasible for the class,
+        and any valid upper bound leaves the bisection result unchanged.
+        The unconstrained scope sees every scope's witnesses (a constrained
+        partition is still a partition of the class).
         """
         key = id(obj)
         if key not in self._refs:
-            return None
-        ubs = self._mono_ub.get((key, cls))
-        return ubs.get(m) if ubs else None
+            key = self._query_key(obj)  # type: ignore[assignment]
+            if key is None:
+                return None
+        scope = canonical_scope(kw)
+        ubs = self._mono_ub.get((key, cls, scope))
+        out = ubs.get(m) if ubs else None
+        if scope == NO_SCOPE:
+            # constrained optima are feasible witnesses for the class too
+            for source in (self._mono_ub, self._mono_opt):
+                for (k2, c2, s2), table in source.items():
+                    if k2 == key and c2 == cls and s2 != NO_SCOPE:
+                        B = table.get(m)
+                        if B is not None and (out is None or B < out):
+                            out = B
+        return out
 
-    def record_mono_ub(self, obj: Any, cls: str, m: int, B: int) -> None:
+    def record_mono_ub(
+        self, obj: Any, cls: str, m: int, B: int, *, kw: Mapping[str, Any] | None = None
+    ) -> None:
         """Record a proven-feasible bottleneck ``B`` (a witness) at ``m``."""
         if cls not in _MONO_CLASSES:
             raise SweepInvariantError(f"unknown monotone class {cls!r}")
         key = self._track(obj)
         if key is None:
             return
+        scope = canonical_scope(kw)
         B = int(B)
-        opt = self._mono_opt.get((key, cls))
-        if opt:
-            for mp, Bp in opt.items():
-                if mp >= m and B < Bp:
-                    raise SweepInvariantError(
-                        f"{cls}: feasible witness {B} at m={m} undercuts the "
-                        f"optimum {Bp} at m={mp}"
-                    )
-        ubs = self._mono_ub.setdefault((key, cls), {})
+        for check_scope in {scope, NO_SCOPE}:
+            # a witness transfers to the unconstrained class, so it must not
+            # undercut the unconstrained optima either
+            opt = self._mono_opt.get((key, cls, check_scope))
+            if opt:
+                for mp, Bp in opt.items():
+                    if mp >= m and B < Bp:
+                        raise SweepInvariantError(
+                            f"{cls}: feasible witness {B} at m={m} undercuts "
+                            f"the optimum {Bp} at m={mp}"
+                        )
+        ubs = self._mono_ub.setdefault((key, cls, scope), {})
         prev = ubs.get(m)
         if prev is None or B < prev:
             ubs[m] = B
@@ -199,7 +369,7 @@ class SweepState:
     # -- the P×Q-way jagged class (componentwise monotone) --------------
 
     def grid_bounds(
-        self, pref: Any, P: int, Q: int
+        self, pref: Any, P: int, Q: int, *, kw: Mapping[str, Any] | None = None
     ) -> tuple[int | None, int | None, int | None]:
         """``(exact, lb, ub)`` for the P×Q-way class by dominance lookup.
 
@@ -208,13 +378,16 @@ class SweepState:
         Plain m-monotonicity does **not** hold across factorizations
         (``B*(1, 7)`` may exceed ``B*(2, 3)``), hence the dominance scan.
         The m-way optimum at ``m = P·Q`` is a valid lower bound (the m-way
-        class contains every P×Q-way partition).
+        class contains every P×Q-way partition).  Scope rules mirror
+        :meth:`mono_bounds`.
         """
         key = id(pref)
         if key not in self._refs:
-            return None, None, None
-        opt = self._grid_opt.get(key)
-        ubs = self._grid_ub.get(key)
+            key = self._query_key(pref)  # type: ignore[assignment]
+            if key is None:
+                return None, None, None
+        scope = canonical_scope(kw)
+        opt = self._grid_opt.get((key, scope))
         exact = opt.get((P, Q)) if opt else None
         if exact is not None:
             return exact, exact, exact
@@ -226,24 +399,43 @@ class SweepState:
                     ub = B
                 if Pp >= P and Qp >= Q and (lb is None or B > lb):
                     lb = B
+        ubs = self._grid_ub.get((key, scope))
         if ubs:
             for (Pp, Qp), B in ubs.items():
                 if Pp <= P and Qp <= Q and (ub is None or B < ub):
                     ub = B
-        mono = self._mono_opt.get((key, "jag_m"))
+        if scope == NO_SCOPE:
+            for (k2, s2), table in list(self._grid_ub.items()) + list(
+                self._grid_opt.items()
+            ):
+                if k2 != key or s2 == NO_SCOPE:
+                    continue
+                for (Pp, Qp), B in table.items():
+                    if Pp <= P and Qp <= Q and (ub is None or B < ub):
+                        ub = B
+        else:
+            base = self._grid_opt.get((key, NO_SCOPE))
+            if base:
+                for (Pp, Qp), B in base.items():
+                    if Pp >= P and Qp >= Q and (lb is None or B > lb):
+                        lb = B
+        mono = self._mono_opt.get((key, "jag_m", NO_SCOPE))
         if mono is not None:
             B = mono.get(P * Q)
             if B is not None and (lb is None or B > lb):
                 lb = B
         return None, lb, ub
 
-    def record_grid_opt(self, pref: Any, P: int, Q: int, B: int) -> None:
+    def record_grid_opt(
+        self, pref: Any, P: int, Q: int, B: int, *, kw: Mapping[str, Any] | None = None
+    ) -> None:
         """Record a proven P×Q-way optimum ``B``."""
         key = self._track(pref)
         if key is None:
             return
+        scope = canonical_scope(kw)
         B = int(B)
-        store = self._grid_opt.setdefault(key, {})
+        store = self._grid_opt.setdefault((key, scope), {})
         prev = store.get((P, Q))
         if prev is not None and prev != B:
             raise SweepInvariantError(
@@ -256,62 +448,149 @@ class SweepState:
                     f"jag_pq: optimum {B} at ({P},{Q}) contradicts optimum "
                     f"{Bp} at ({Pp},{Qp}) (componentwise monotonicity)"
                 )
+        ubs = self._grid_ub.get((key, scope))
+        if ubs:
+            for (Pp, Qp), Bp in ubs.items():
+                if Pp <= P and Qp <= Q and Bp < B:
+                    raise SweepInvariantError(
+                        f"jag_pq: optimum {B} at ({P},{Q}) exceeds the "
+                        f"feasible witness {Bp} at ({Pp},{Qp})"
+                    )
+        if scope == NO_SCOPE:
+            for (k2, s2), table in list(self._grid_ub.items()) + list(
+                self._grid_opt.items()
+            ):
+                if k2 != key or s2 == NO_SCOPE:
+                    continue
+                for (Pp, Qp), Bp in table.items():
+                    if Pp <= P and Qp <= Q and Bp < B:
+                        raise SweepInvariantError(
+                            f"jag_pq: unconstrained optimum {B} at ({P},{Q}) "
+                            f"exceeds the feasible witness {Bp} at "
+                            f"({Pp},{Qp}) (scope {dict(s2)!r})"
+                        )
+        else:
+            base = self._grid_opt.get((key, NO_SCOPE))
+            if base:
+                for (Pp, Qp), Bp in base.items():
+                    if Pp >= P and Qp >= Q and B < Bp:
+                        raise SweepInvariantError(
+                            f"jag_pq: constrained optimum {B} at ({P},{Q}) "
+                            f"(scope {dict(scope)!r}) undercuts the "
+                            f"unconstrained optimum {Bp} at ({Pp},{Qp})"
+                        )
         store[(P, Q)] = B
 
-    def grid_witness(self, pref: Any, P: int, Q: int) -> int | None:
+    def grid_witness(
+        self, pref: Any, P: int, Q: int, *, kw: Mapping[str, Any] | None = None
+    ) -> int | None:
         """The recorded feasible witness at exactly ``(P, Q)`` (or None)."""
         key = id(pref)
         if key not in self._refs:
-            return None
-        ubs = self._grid_ub.get(key)
-        return ubs.get((P, Q)) if ubs else None
+            key = self._query_key(pref)  # type: ignore[assignment]
+            if key is None:
+                return None
+        scope = canonical_scope(kw)
+        ubs = self._grid_ub.get((key, scope))
+        out = ubs.get((P, Q)) if ubs else None
+        if scope == NO_SCOPE:
+            for (k2, s2), table in self._grid_ub.items():
+                if k2 == key and s2 != NO_SCOPE:
+                    B = table.get((P, Q))
+                    if B is not None and (out is None or B < out):
+                        out = B
+        return out
 
-    def record_grid_ub(self, pref: Any, P: int, Q: int, B: int) -> None:
+    def record_grid_ub(
+        self, pref: Any, P: int, Q: int, B: int, *, kw: Mapping[str, Any] | None = None
+    ) -> None:
         """Record a proven-feasible P×Q-way bottleneck (a witness)."""
         key = self._track(pref)
         if key is None:
             return
+        scope = canonical_scope(kw)
         B = int(B)
-        opt = self._grid_opt.get(key)
-        if opt:
-            for (Pp, Qp), Bp in opt.items():
-                if Pp >= P and Qp >= Q and B < Bp:
-                    raise SweepInvariantError(
-                        f"jag_pq: feasible witness {B} at ({P},{Q}) undercuts "
-                        f"the optimum {Bp} at ({Pp},{Qp})"
-                    )
-        ubs = self._grid_ub.setdefault(key, {})
+        for check_scope in {scope, NO_SCOPE}:
+            opt = self._grid_opt.get((key, check_scope))
+            if opt:
+                for (Pp, Qp), Bp in opt.items():
+                    if Pp >= P and Qp >= Q and B < Bp:
+                        raise SweepInvariantError(
+                            f"jag_pq: feasible witness {B} at ({P},{Q}) "
+                            f"undercuts the optimum {Bp} at ({Pp},{Qp})"
+                        )
+        ubs = self._grid_ub.setdefault((key, scope), {})
         prev = ubs.get((P, Q))
         if prev is None or B < prev:
             ubs[(P, Q)] = B
 
     def _grid_min_ub(self, key: int, m: int) -> int | None:
-        """Tightest grid fact with ``P·Q <= m`` (an m-way feasible witness)."""
+        """Tightest grid fact with ``P·Q <= m`` (an m-way feasible witness).
+
+        Scans every scope: any feasible P×Q-way partition — however its
+        producer was parameterized — is an m-way jagged partition.
+        """
         out: int | None = None
-        for store in (self._grid_opt.get(key), self._grid_ub.get(key)):
-            if store:
+        for table_map in (self._grid_opt, self._grid_ub):
+            for (k2, _s2), store in table_map.items():
+                if k2 != key:
+                    continue
                 for (Pp, Qp), B in store.items():
                     if Pp * Qp <= m and (out is None or B < out):
                         out = B
         return out
 
-    # -- shared JAG-M-OPT stripe memo -----------------------------------
+    # -- shared memos (stripe facts, hierarchical node decisions) -------
 
     def stripe_memo(self, pref: Any) -> dict | None:
-        """The sweep-shared stripe memo for ``pref`` (None when full).
+        """The sweep-shared JAG-M-OPT stripe memo for ``pref`` (None when full).
 
         Entries are ``(k, i) -> [(B, parts, exact)]`` facts about stripe
         ``[k, i)`` of this prefix; they are m-independent, so one memo
         serves every bisection probe of every sweep step.
         """
-        key = self._track(pref)
+        return self._memo(pref, "stripe")
+
+    def hier_memo(self, pref: Any, family: str) -> dict | None:
+        """The sweep-shared hierarchical node-decision memo (None when full).
+
+        ``family`` is ``"rb"`` or ``"relaxed"``.  Entries map a node key —
+        the sub-rectangle, the candidate cut dimension and (for RB) the
+        gcd-reduced processor-split ratio, or (for RELAXED) the node's
+        processor count — to the windowed cut kernel's result.  The keys
+        capture *everything* the decision depends on, so a memo hit
+        returns exactly what the kernel would recompute: decisions (and
+        partitions) stay bit-identical while the cut searches disappear
+        from the op counters.  RB keys are invariant under scaling of the
+        processor split, which is what lets facts transfer across the
+        ``m`` sweep (every even bisection shares its ratio ``1:1``).
+        """
+        return self._memo(pref, family)
+
+    def _memo(self, obj: Any, tag: str) -> dict | None:
+        key = self._track(obj)
         if key is None:
             return None
-        memo = self._memos.get(key)
+        memo = self._memos.get((key, tag))
         if memo is None:
             memo = {}
-            self._memos[key] = memo
+            self._memos[(key, tag)] = memo
         return memo
+
+    # -- disk-store lifecycle -------------------------------------------
+
+    def flush_to_store(self) -> None:
+        """Harvest every tracked instance's facts into the attached store.
+
+        A no-op without a store.  Called by ``use_sweep`` on scope exit;
+        the store itself performs the atomic read-merge-write.
+        """
+        if self._store is None:
+            return
+        for obj in list(self._refs.values()):
+            if self._store.is_instance(obj):
+                self._store.harvest_state(self, obj)
+        self._store.flush()
 
 
 #: the active sweep contexts (a stack, like the op-counter stack: the

@@ -350,6 +350,92 @@ class TestRPL007Coverage:
         assert [v for v in res.violations if v.rule == "RPL007"] == []
 
 
+class TestRPL008Claims:
+    """RPL008: docstring complexity claims must appear in docs/algorithms.md."""
+
+    DOCS = "RECT-GOOD runs in O(m log n) time; refinement costs O(n·m)."
+
+    def test_matching_claim_is_silent(self):
+        from repro.lint.rules import check_claims
+
+        def algo(A, m) -> Partition:
+            """Implements §3.1 in O(m log n)."""
+
+        assert check_claims({"RECT-GOOD": algo}, self.DOCS) == []
+
+    def test_undocumented_claim_is_flagged(self):
+        from repro.lint.rules import check_claims
+
+        def algo(A, m) -> Partition:
+            """Implements §3.1 in O(m^3 log n)."""
+
+        out = check_claims({"RECT-GOOD": algo}, self.DOCS)
+        assert [v.rule for v in out] == ["RPL008"]
+        assert "O(m^3 log n)" in out[0].message
+
+    def test_normalization_bridges_typography(self):
+        from repro.lint.rules import check_claims
+
+        def algo(A, m) -> Partition:
+            """Refinement step: `O(N * M)` per pass."""
+
+        # docs say O(n·m): case, backticks, spacing and the multiplication
+        # sign are cosmetic — the claims must unify
+        assert check_claims({"RECT-GOOD": algo}, self.DOCS) == []
+
+    def test_normalization_superscripts(self):
+        from repro.lint.rules import _normalize_claim
+
+        assert _normalize_claim("O(m²)") == _normalize_claim("O(m^2)")
+        assert _normalize_claim("O(n³ m)") == _normalize_claim("O(n^3m)")
+        assert _normalize_claim("O(n·m)") == _normalize_claim("O(nm)")
+        assert _normalize_claim("O(n)") != _normalize_claim("O(m)")
+
+    def test_claim_regex_handles_nested_parens(self):
+        from repro.lint.rules import _CLAIM_RE
+
+        text = "runs in O(m² log max(n1, n2)) overall"
+        assert _CLAIM_RE.findall(text) == ["O(m² log max(n1, n2))"]
+
+    def test_non_callable_entries_are_skipped(self):
+        from repro.lint.rules import check_claims
+
+        assert check_claims({"RECT-GOOD": 42}, self.DOCS) == []
+
+    def test_violation_anchored_on_given_path(self):
+        from repro.lint.rules import check_claims
+
+        def algo(A, m) -> Partition:
+            """Implements §3.1 in O(2^n)."""
+
+        out = check_claims({"RECT-GOOD": algo}, self.DOCS, "a/b.py", 9)
+        assert out[0].path == "a/b.py" and out[0].line == 9
+
+    def test_module_docstring_claims_are_checked(self):
+        import sys
+        import types
+
+        from repro.lint.rules import check_claims
+
+        mod = types.ModuleType("_rpl008_fake_mod")
+        mod.__doc__ = "Everything here is O(n!)."
+        sys.modules["_rpl008_fake_mod"] = mod
+        try:
+
+            def algo(A, m) -> Partition:
+                """Implements §3.1."""
+
+            algo.__module__ = "_rpl008_fake_mod"
+            out = check_claims({"RECT-GOOD": algo}, self.DOCS)
+            assert len(out) == 1 and "O(n!)" in out[0].message
+        finally:
+            del sys.modules["_rpl008_fake_mod"]
+
+    def test_repo_tree_is_clean(self):
+        res = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert [v for v in res.violations if v.rule == "RPL008"] == []
+
+
 class TestEngineAndCli:
     def test_disable_all(self, tmp_path):
         src = "b = float(total); w = P[lo : hi + 1]  # repro-lint: disable=all\n"

@@ -42,6 +42,29 @@ class TestBounds:
         p = rect_uniform(A, 4)
         assert load_imbalance(A, p) == p.imbalance(A)
 
+    def test_imbalance_exact_past_float_precision(self):
+        from fractions import Fraction
+
+        # total load > 2^60: the naive Lmax/(total/m) - 1 double-rounds
+        # through float and collapses this tiny positive imbalance to 0.0
+        big = (1 << 61) + 2
+        A = np.array([[big, big - 1]], dtype=np.int64)
+        p = Partition(
+            [Rect(0, 1, 0, 1), Rect(0, 1, 1, 2)], shape=(1, 2), method="manual"
+        )
+        total = 2 * big - 1
+        expected = float(Fraction(big * 2 - total, total))  # = 1/total
+        assert expected > 0.0
+        assert p.imbalance(A) == expected
+        assert load_imbalance(A, p) == expected
+        naive = float(big) / (float(total) / 2) - 1.0
+        assert naive == 0.0  # the bug this pins against
+
+    def test_imbalance_zero_total(self):
+        A = np.zeros((2, 2), dtype=np.int64)
+        p = rect_uniform(A, 4)
+        assert p.imbalance(A) == 0.0
+
 
 class TestCommunication:
     @pytest.mark.parametrize("m", [1, 4, 6, 9])

@@ -279,6 +279,95 @@ def test_identity_keying_holds_references():
     assert state._refs[id(obj)] is obj
 
 
+# ---------------------------------------------------------------------------
+# Kwargs-scoped fact keys (regression: facts from differently-parameterized
+# solver calls used to share one key and collide)
+
+
+def test_same_class_different_kwargs_coexist():
+    # pinned regression: before scoping, the second record of the same
+    # (class, m) under different solver kwargs raised SweepInvariantError
+    # ("recorded twice") or silently poisoned the first fact
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 8, 100, kw={"num_stripes": 2})
+    state.record_mono_opt(obj, "jag_m", 8, 120, kw={"num_stripes": 3})
+    assert state.mono_bounds(obj, "jag_m", 8, kw={"num_stripes": 2})[0] == 100
+    assert state.mono_bounds(obj, "jag_m", 8, kw={"num_stripes": 3})[0] == 120
+
+
+def test_scope_canonicalization():
+    from repro.sweep import canonical_scope
+
+    # None values are defaults (dropped); order is irrelevant; values are
+    # type-tagged so 1 and "1" and True stay distinct scopes
+    assert canonical_scope(None) == ()
+    assert canonical_scope({}) == ()
+    assert canonical_scope({"a": None}) == ()
+    assert canonical_scope({"a": 1, "b": "x"}) == canonical_scope({"b": "x", "a": 1})
+    assert canonical_scope({"a": 1}) != canonical_scope({"a": "1"})
+    assert canonical_scope({"a": 1}) != canonical_scope({"a": True})
+    # an already-canonical scope passes through unchanged (store replay)
+    scope = canonical_scope({"num_stripes": 4})
+    assert canonical_scope(scope) == scope
+
+
+def test_two_num_stripes_in_one_scope_stay_cold_identical(A):
+    # e2e pin for the contamination bug: two differently-parameterized
+    # JAG-M-HEUR calls inside one sweep must each match their cold baseline
+    pref = PrefixSum2D(A)
+    cold1 = partition_2d(PrefixSum2D(A), 12, "JAG-M-HEUR", num_stripes=1)
+    cold4 = partition_2d(PrefixSum2D(A), 12, "JAG-M-HEUR", num_stripes=4)
+    with use_sweep():
+        warm1 = partition_2d(pref, 12, "JAG-M-HEUR", num_stripes=1)
+        warm4 = partition_2d(pref, 12, "JAG-M-HEUR", num_stripes=4)
+        again1 = partition_2d(pref, 12, "JAG-M-HEUR", num_stripes=1)
+    assert _rects(warm1) == _rects(again1) == _rects(cold1)
+    assert _rects(warm4) == _rects(cold4)
+    pc = PrefixSum2D(A)
+    assert warm1.max_load(pc) == cold1.max_load(pc)
+    assert warm4.max_load(pc) == cold4.max_load(pc)
+
+
+def test_constrained_feasibility_transfers_to_unscoped_query():
+    # a partition produced under any kwargs is still a real partition:
+    # its load is an upper bound for the unconstrained class optimum
+    state = SweepState()
+    obj = object()
+    state.record_mono_ub(obj, "jag_m", 8, 140, kw={"num_stripes": 2})
+    state.record_mono_opt(obj, "jag_m", 8, 130, kw={"num_stripes": 3})
+    assert state.mono_bounds(obj, "jag_m", 8)[2] == 130  # min over scopes
+    assert state.mono_witness(obj, "jag_m", 8) == 130
+
+
+def test_unscoped_optimum_lower_bounds_constrained_query():
+    # the unconstrained optimum is over a superset of the constrained
+    # search space, so it transfers as a lower bound — never as exact
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 8, 100)
+    exact, lb, _ = state.mono_bounds(obj, "jag_m", 8, kw={"num_stripes": 2})
+    assert exact is None and lb == 100
+
+
+def test_constrained_optimum_never_leaks_exact_to_unscoped():
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 8, 150, kw={"num_stripes": 2})
+    exact, _, ub = state.mono_bounds(obj, "jag_m", 8)
+    assert exact is None  # constrained optimum is not the class optimum
+    assert ub == 150  # ... but it is feasible, hence an upper bound
+
+
+def test_record_rejects_constrained_fact_beating_unscoped_optimum():
+    state = SweepState()
+    obj = object()
+    state.record_mono_opt(obj, "jag_m", 8, 100)
+    with pytest.raises(SweepInvariantError):
+        # a constrained search space cannot beat the unconstrained optimum
+        state.record_mono_ub(obj, "jag_m", 8, 99, kw={"num_stripes": 2})
+
+
 def test_bisect_class_records_under_sweep():
     from repro.oned.bisect import bisect_bottleneck
 
