@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
+.PHONY: check lint lint-fast lint-sarif ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -25,6 +25,17 @@ mypy:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src/repro
+
+# pre-commit loop: lint only the files changed vs the merge-base with main
+# (worktree edits and untracked files included; project-wide rules and the
+# stale-suppression check are skipped on partial sets)
+lint-fast:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --changed src/repro
+
+# the code-scanning artifact CI uploads
+lint-sarif:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --format sarif src/repro > repro-lint.sarif || true
+	@echo "wrote repro-lint.sarif"
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q

@@ -16,9 +16,9 @@ the ``scale=`` argument of the figure functions.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
+from ..config import env_str
 from ..instances.pic import PICConfig
 
 __all__ = ["Scale", "SMALL", "PAPER", "current_scale", "get_scale"]
@@ -122,7 +122,7 @@ _PROFILES = {"small": SMALL, "paper": PAPER}
 
 def current_scale() -> Scale:
     """Profile selected by ``$REPRO_SCALE`` (default ``small``)."""
-    return get_scale(os.environ.get("REPRO_SCALE", "small"))
+    return get_scale(env_str("REPRO_SCALE"))
 
 
 def get_scale(name: str | Scale | None) -> Scale:

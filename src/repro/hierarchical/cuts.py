@@ -235,12 +235,12 @@ def best_relaxed_split_win(
         cb = 1 if cb < 1 else (L - 1 if cb > L - 1 else cb)
         la = float(int(view[ca]) - base)  # repro-lint: disable=RPL003 — relaxed score
         lb = float(int(view[cb]) - base)  # repro-lint: disable=RPL003
-        va = la if la > total - la else total - la  # repro-lint: disable=RPL003
-        vb = lb if lb > total - lb else total - lb  # repro-lint: disable=RPL003
+        va = la if la > total - la else total - la
+        vb = lb if lb > total - lb else total - lb
         v = va if va < vb else vb
         # both candidates tie on processor balance, so argmax keeps the first
         # candidate within the near-tie threshold
-        if va <= v * (1.0 + 1e-3) + 1e-9:  # repro-lint: disable=RPL003
+        if va <= v * (1.0 + 1e-3) + 1e-9:
             return (ca, 1, va)
         return (cb, 1, vb)
     j = _split_indices(m)
@@ -293,7 +293,7 @@ def _relaxed_split_scalar(
             vals.append(a)
             if v is None or a < v:
                 v = a
-    thr = v * (1.0 + 1e-3) + 1e-9  # repro-lint: disable=RPL003
+    thr = v * (1.0 + 1e-3) + 1e-9
     best_bal = -1
     best_i = 0
     for i, val in enumerate(vals):

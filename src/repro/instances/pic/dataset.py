@@ -9,11 +9,11 @@ cache so the benchmark suite does not re-run the particle pusher.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import numpy as np
 
+from ...config import env_str
 from ...core.errors import ParameterError
 from .simulator import PICConfig, PICMagSimulator
 
@@ -22,7 +22,7 @@ __all__ = ["PICMagDataset", "default_cache_dir"]
 
 def default_cache_dir() -> Path:
     """Cache directory: ``$REPRO_CACHE`` or ``~/.cache/repro``."""
-    env = os.environ.get("REPRO_CACHE")
+    env = env_str("REPRO_CACHE")
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"

@@ -1,17 +1,24 @@
 """repro-lint: repo-specific static analysis for the partitioning codebase.
 
-The paper's correctness-and-speed story rests on three conventions that
-ordinary linters cannot see:
+The paper's correctness-and-speed story rests on conventions that ordinary
+linters cannot see:
 
 * rectangle/interval loads are O(1) prefix-sum queries (§2.1, the Γ array),
   never O(n) slice sums;
 * every interval is half-open ``[lo, hi)``, mapping directly onto slices;
 * loads stay exact ``int64`` so the optimal algorithms (Nicol's parametric
-  search, integer bisection) can bisect exactly.
+  search, integer bisection) can bisect exactly;
+* every accelerated dispatch path (perf kernels, parallel execution, sweep
+  warm starts) is **bit-identical** to its reference twin — enforced
+  dynamically by the equality tests and statically by the dataflow rules.
 
 This package enforces them with an AST rule engine (:mod:`.engine`), a
-ruleset grounded in this codebase (:mod:`.rules`, RPL001–RPL007), and a CLI
-(:mod:`.cli`, installed as ``repro-lint`` / ``python -m repro.lint``).
+per-file ruleset grounded in this codebase (:mod:`.rules`, RPL001–RPL008),
+project-wide dataflow rules over the import/call graph (:mod:`.graph`,
+:mod:`.dataflow`, :mod:`.flowrules`, RPL009–RPL012), a stale-suppression
+meta-check (RPL100), and a CLI (:mod:`.cli`, installed as ``repro-lint`` /
+``python -m repro.lint``) with text/JSON/SARIF reporters and a ``--changed``
+fast mode.
 
 See ``docs/lint.md`` for the rule catalogue and suppression syntax.
 """
@@ -19,6 +26,8 @@ See ``docs/lint.md`` for the rule catalogue and suppression syntax.
 from __future__ import annotations
 
 from .engine import LintResult, Violation, lint_paths
+from .flowrules import check_dispatch_twins, check_env_reads
+from .reporters import json_report, sarif_report, text_report
 from .rules import ALL_RULES, check_budgets, check_registry
 
 __all__ = [
@@ -28,4 +37,9 @@ __all__ = [
     "ALL_RULES",
     "check_budgets",
     "check_registry",
+    "check_dispatch_twins",
+    "check_env_reads",
+    "json_report",
+    "sarif_report",
+    "text_report",
 ]

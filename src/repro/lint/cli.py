@@ -5,6 +5,8 @@ Typical invocations::
     repro-lint src/repro                 # lint the source tree (CI gate)
     repro-lint --select RPL003 src/repro # one rule only
     repro-lint --format json src/repro   # machine-readable output
+    repro-lint --format sarif src/repro  # code-scanning upload artifact
+    repro-lint --changed                 # only files changed vs merge-base
     python -m repro.lint src/repro       # same, without the console script
 
 Exit codes: 0 clean, 1 violations found, 2 usage or internal error — the
@@ -14,16 +16,19 @@ same contract CI relies on.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
-from .engine import lint_paths
-from .reporters import json_report, text_report
+from .engine import STALE_CODE, lint_paths
+from .reporters import json_report, sarif_report, text_report
 from .rules import ALL_PROJECT_RULES, ALL_RULES
 
 __all__ = ["main"]
 
-_KNOWN_CODES = {r.code for r in ALL_RULES} | {r.code for r in ALL_PROJECT_RULES}
+_KNOWN_CODES = (
+    {r.code for r in ALL_RULES} | {r.code for r in ALL_PROJECT_RULES} | {STALE_CODE}
+)
 
 
 def _parse_codes(raw: str | None) -> set[str] | None:
@@ -45,7 +50,47 @@ def _list_rules() -> str:
     for rule in [*ALL_RULES, *ALL_PROJECT_RULES]:
         lines.append(f"{rule.code}  {rule.name}")
         lines.append(f"       {rule.rationale}")
+    lines.append(f"{STALE_CODE}  stale-suppression")
+    lines.append(
+        "       a # repro-lint: disable comment that silences nothing must "
+        "be removed (skipped under --changed)"
+    )
     return "\n".join(lines)
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def _changed_files(base: str, roots: list[Path]) -> list[Path] | None:
+    """Python files changed vs the merge-base with ``base``, under ``roots``.
+
+    Committed changes, worktree modifications and untracked files all count.
+    Returns None (with a message on stderr) when git cannot answer, so the
+    caller can fall back to a full lint rather than silently lint nothing.
+    """
+    try:
+        merge_base = _git("merge-base", "HEAD", base).strip()
+        names = set(_git("diff", "--name-only", merge_base, "--", "*.py").splitlines())
+        names |= set(_git("diff", "--name-only", "--", "*.py").splitlines())
+        names |= set(
+            _git("ls-files", "--others", "--exclude-standard", "--", "*.py").splitlines()
+        )
+        top = Path(_git("rev-parse", "--show-toplevel").strip())
+    except (subprocess.CalledProcessError, OSError) as exc:
+        print(f"warning: --changed unavailable ({exc}); linting everything", file=sys.stderr)
+        return None
+    resolved_roots = [r.resolve() for r in roots]
+    out: list[Path] = []
+    for name in sorted(names):
+        path = (top / name).resolve()
+        if not path.is_file():
+            continue  # deleted in the diff
+        if any(root == path or root in path.parents for root in resolved_roots):
+            out.append(path)
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,12 +109,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated rule codes to run (default: all)")
     parser.add_argument("--ignore", default=None, metavar="CODES",
                         help="comma-separated rule codes to skip")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text",
                         help="output format (default: text)")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="list honoured suppressions in the text report")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files changed vs the merge-base "
+                        "(skips project rules' full-tree checks and RPL100)")
+    parser.add_argument("--base", default="main", metavar="REF",
+                        help="base ref for --changed (default: main)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -85,13 +135,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no such path(s): {[str(p) for p in missing]}", file=sys.stderr)
         return 2
 
+    stale_check = True
+    if args.changed:
+        changed = _changed_files(args.base, paths)
+        if changed is not None:
+            if not changed:
+                print("0 violations in 0 files (0 suppressed)")
+                return 0
+            paths = changed
+            stale_check = False
+
     result = lint_paths(
         paths,
         select=_parse_codes(args.select),
         ignore=_parse_codes(args.ignore) or set(),
+        stale_check=stale_check,
     )
     if args.format == "json":
         print(json_report(result))
+    elif args.format == "sarif":
+        print(sarif_report(result))
     else:
         print(text_report(result, verbose=args.show_suppressed))
     return result.exit_code

@@ -27,12 +27,17 @@ from typing import Iterable, Iterator, Sequence
 __all__ = [
     "Violation",
     "FileContext",
+    "Suppression",
     "Rule",
     "ProjectRule",
     "LintResult",
     "collect_files",
     "lint_paths",
 ]
+
+#: code of the stale-suppression meta-check (not a Rule object: it runs over
+#: the suppression tables after every other rule has had its chance to match)
+STALE_CODE = "RPL100"
 
 #: packages whose modules are "hot path" for the prefix-sum / integer rules
 HOT_PACKAGES = frozenset(
@@ -70,6 +75,25 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable[-file]=...`` comment, with usage tracking.
+
+    ``used`` collects the codes a suppression actually silenced during a lint
+    run; the stale-suppression pass (RPL100) reports codes that never matched.
+    """
+
+    line: int  #: comment line (anchor for file-scope suppressions too)
+    codes: frozenset[str]  #: upper-cased rule codes, possibly ``{"ALL"}``
+    file_scope: bool
+    used: set[str] = field(default_factory=set)
+
+    def matches(self, v: Violation) -> bool:
+        if not self.file_scope and self.line != v.line:
+            return False
+        return v.rule in self.codes or "ALL" in self.codes
+
+
 class FileContext:
     """A parsed source file plus its suppression table."""
 
@@ -78,6 +102,7 @@ class FileContext:
         self.rel = rel
         self.source = source
         self.tree = ast.parse(source, filename=rel)
+        self.suppressions: list[Suppression] = []
         self.line_suppressions: dict[int, set[str]] = {}
         self.file_suppressions: set[str] = set()
         for lineno, text in enumerate(source.splitlines(), start=1):
@@ -85,7 +110,11 @@ class FileContext:
             if m is None:
                 continue
             codes = {c.strip().upper() for c in m.group("codes").split(",") if c.strip()}
-            if m.group("scope"):
+            scope = bool(m.group("scope"))
+            self.suppressions.append(
+                Suppression(line=lineno, codes=frozenset(codes), file_scope=scope)
+            )
+            if scope:
                 self.file_suppressions |= codes
             else:
                 self.line_suppressions.setdefault(lineno, set()).update(codes)
@@ -95,8 +124,12 @@ class FileContext:
         return frozenset(Path(self.rel).parts[:-1])
 
     def is_suppressed(self, v: Violation) -> bool:
-        codes = self.line_suppressions.get(v.line, set()) | self.file_suppressions
-        return v.rule in codes or "ALL" in codes
+        hit = False
+        for s in self.suppressions:
+            if s.matches(v):
+                s.used.add(v.rule)
+                hit = True
+        return hit
 
 
 class Rule:
@@ -180,6 +213,37 @@ def _selected(code: str, select: set[str] | None, ignore: set[str]) -> bool:
     return select is None or code in select
 
 
+def _stale_suppressions(
+    contexts: Sequence[FileContext], active_codes: set[str], full_run: bool
+) -> Iterator[Violation]:
+    """RPL100: suppressions that silenced nothing this run.
+
+    A code is checkable only when its rule actually ran (``active_codes``);
+    ``disable=all`` is checkable only on a full run (no ``--select``), since
+    a restricted run gives most rules no chance to match.
+    """
+    for ctx in contexts:
+        for s in ctx.suppressions:
+            if "ALL" in s.codes:
+                stale = frozenset({"ALL"}) if full_run and not s.used else frozenset()
+            else:
+                stale = frozenset((s.codes & active_codes) - s.used)
+            if not stale:
+                continue
+            scope = "disable-file" if s.file_scope else "disable"
+            yield Violation(
+                path=ctx.rel,
+                line=s.line,
+                col=1,
+                rule=STALE_CODE,
+                message=(
+                    f"stale suppression `# repro-lint: {scope}="
+                    f"{','.join(sorted(stale))}`: no such finding is raised "
+                    "here any more; remove it"
+                ),
+            )
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     *,
@@ -187,11 +251,15 @@ def lint_paths(
     ignore: set[str] | None = None,
     rules: Sequence[Rule] | None = None,
     project_rules: Sequence[ProjectRule] | None = None,
+    stale_check: bool = True,
 ) -> LintResult:
     """Lint ``paths`` with the given (default: all registered) rules.
 
     ``select``/``ignore`` filter by rule code.  Project rules run once over
     the full file set; per-file rules run on each file they apply to.
+    ``stale_check=False`` skips the RPL100 stale-suppression pass (used by
+    ``--changed`` partial lints, where project rules skip quietly and their
+    suppressions would look stale).
     """
     from .rules import ALL_PROJECT_RULES, ALL_RULES
 
@@ -232,6 +300,20 @@ def lint_paths(
                 result.suppressed.append(v)
             else:
                 result.violations.append(v)
+
+    if stale_check and _selected(STALE_CODE, select, ignore):
+        active_codes = {r.code for r in active} | {r.code for r in active_project}
+        for v in _stale_suppressions(contexts, active_codes, full_run=select is None):
+            ctx = by_rel.get(v.path)
+            # a stale finding is suppressible only by an *explicit* RPL100
+            # code — `disable=all` must not swallow its own staleness report
+            hit = False
+            if ctx is not None:
+                for s in ctx.suppressions:
+                    if STALE_CODE in s.codes and (s.file_scope or s.line == v.line):
+                        s.used.add(STALE_CODE)
+                        hit = True
+            (result.suppressed if hit else result.violations).append(v)
 
     result.violations.sort()
     result.suppressed.sort()

@@ -1,0 +1,1087 @@
+"""The dispatch-contract ruleset: RPL009–RPL012.
+
+PRs 2–5 layered three accelerated dispatch paths (perf, parallel,
+sweep/store) over the reference solvers under a **bit-identical-to-
+reference** contract, enforced dynamically by equality tests.  These rules
+make the contract machine-checked at lint time, on top of the project graph
+(:mod:`.graph`) and the intraprocedural dataflow framework
+(:mod:`.dataflow`):
+
+* **RPL009** — every guarded fast path has a reachable reference twin, and
+  the dispatching function is reachable from at least one equality/sweep
+  test;
+* **RPL010** — bit-identity modules carry no nondeterminism source a lucky
+  test run could miss (unordered iteration into results, ``id()`` escapes,
+  entropy calls, unordered pool consumption);
+* **RPL011** — environment reads go through declared config modules, are
+  registered in ``repro/config.py`` and documented under ``docs/``;
+* **RPL012** — shared-memory segments and process pools pair creation with
+  cleanup on all paths.
+
+Each rule's core checker is a plain function over parsed
+:class:`~.engine.FileContext` trees so the tests can run them on synthetic
+projects; the registered Rule/ProjectRule classes wire them to the real
+tree (locating ``tests/`` and the algorithm registry the way RPL004 locates
+``docs/``).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from .dataflow import FunctionFlow, terminal_names, walk_scope
+from .engine import HOT_PACKAGES, FileContext, ProjectRule, Rule, Violation
+from .graph import FunctionInfo, ProjectGraph, module_name
+
+__all__ = [
+    "CONTRACT_PACKAGES",
+    "EQUALITY_TEST_PATTERNS",
+    "DispatchTwinRule",
+    "DeterminismRule",
+    "ConfigRegistryRule",
+    "ResourceLifecycleRule",
+    "check_dispatch_twins",
+    "check_env_reads",
+    "find_equality_test_files",
+]
+
+#: packages whose modules participate in the bit-identity contract
+CONTRACT_PACKAGES = HOT_PACKAGES | {"sweep", "core"}
+
+#: test files whose passing is the dynamic half of the contract
+EQUALITY_TEST_PATTERNS = ("test_*_equality.py", "test_sweep*.py")
+
+#: boolean switches that guard a fast path against its reference twin
+GUARD_NAMES = frozenset(
+    {"perf_enabled", "parallel_enabled", "effective_workers", "sweep_active"}
+)
+
+#: dotted-target suffixes that denote the sweep-state accessor
+_SWEEP_CURRENT_SUFFIXES = ("sweep.state.current", "sweep.current")
+
+#: parent-side parallel hooks: ``None`` means "run the serial reference"
+PARALLEL_HOOKS = frozenset(
+    {
+        "parallel_stripe_cuts",
+        "parallel_hetero_stripe_cuts",
+        "parallel_grow_tree",
+        "get_pool",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# RPL009 — dispatch-twin contract
+# ---------------------------------------------------------------------------
+
+
+def _callee_names(graph: ProjectGraph, mod: str, call: ast.Call) -> tuple[str, str]:
+    """``(bare name, import-resolved dotted target)`` of a call's callee."""
+    f = call.func
+    bare = f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
+    minfo = graph.modules.get(mod)
+    resolved = ""
+    if isinstance(f, ast.Name) and minfo is not None:
+        resolved = minfo.imports.get(f.id, "")
+    elif isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) and minfo is not None:
+        base = minfo.imports.get(f.value.id)
+        if base is not None:
+            resolved = f"{base}.{f.attr}"
+    return bare, resolved
+
+
+def _is_guard_call(graph: ProjectGraph, mod: str, expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    bare, resolved = _callee_names(graph, mod, expr)
+    if bare in GUARD_NAMES or resolved.rsplit(".", 1)[-1] in GUARD_NAMES:
+        return True
+    return any(resolved.endswith(s) for s in _SWEEP_CURRENT_SUFFIXES)
+
+
+def _is_hook_call(graph: ProjectGraph, mod: str, expr: ast.expr, hooks: frozenset[str]) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    bare, resolved = _callee_names(graph, mod, expr)
+    return bare in hooks or resolved.rsplit(".", 1)[-1] in hooks
+
+
+def _statement_lists(fn: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every statement list in ``fn`` (bodies, else/elif arms, handlers)."""
+    for node in walk_scope(fn):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+
+
+def _build_parents(fn: ast.AST) -> dict[int, tuple[ast.AST, list[ast.stmt], int]]:
+    """``id(stmt) -> (container node, containing block, index)`` within ``fn``."""
+    parents: dict[int, tuple[ast.AST, list[ast.stmt], int]] = {}
+    for node in walk_scope(fn):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list):
+                for idx, stmt in enumerate(block):
+                    if isinstance(stmt, ast.stmt):
+                        parents[id(stmt)] = (node, block, idx)
+    return parents
+
+
+def _falls_off_end(
+    fn: ast.AST,
+    stmt: ast.stmt,
+    parents: dict[int, tuple[ast.AST, list[ast.stmt], int]],
+) -> bool:
+    """True when the false edge of ``stmt`` reaches the function end directly.
+
+    Walks the parent chain looking for a following sibling statement at any
+    level; loop containers count as having a successor (the back edge runs
+    the reference path on the next iteration).
+    """
+    handler_exit: dict[int, ast.AST] = {}
+    for node in walk_scope(fn):
+        if isinstance(node, ast.Try):
+            for h in node.handlers:
+                handler_exit[id(h)] = node
+    cur: ast.AST = stmt
+    while cur is not fn:
+        entry = parents.get(id(cur))
+        if entry is None:
+            nxt = handler_exit.get(id(cur))
+            if nxt is None:
+                return True
+            cur = nxt
+            continue
+        container, block, idx = entry
+        if idx < len(block) - 1:
+            return False
+        if isinstance(container, (ast.For, ast.AsyncFor, ast.While)):
+            return False
+        cur = container
+    return True
+
+
+def _single_call_return(block: list[ast.stmt]) -> ast.Call | None:
+    if len(block) == 1 and isinstance(block[0], ast.Return):
+        val = block[0].value
+        if isinstance(val, ast.Call):
+            return val
+    return None
+
+
+def _twin_arities(
+    graph: ProjectGraph, mod: str, site: ast.If
+) -> tuple[FunctionInfo, FunctionInfo] | None:
+    """The (fast, reference) twin functions when both branches are bare calls."""
+    fast_call = _single_call_return(site.body)
+    ref_call = _single_call_return(site.orelse)
+    if fast_call is None or ref_call is None:
+        return None
+
+    def lookup(call: ast.Call) -> FunctionInfo | None:
+        bare, resolved = _callee_names(graph, mod, call)
+        keys = graph.resolve_target(resolved) if resolved else set()
+        if not keys:
+            keys = {k for k in graph.by_name.get(bare, set())}
+        local = f"{mod}.{bare}"
+        if local in graph.functions:
+            keys = {local}
+        if len(keys) == 1:
+            return graph.functions[next(iter(keys))]
+        return None
+
+    fast = lookup(fast_call)
+    ref = lookup(ref_call)
+    if fast is None or ref is None or fast.key == ref.key:
+        return None
+    return fast, ref
+
+
+def check_dispatch_twins(
+    src_contexts: Sequence[FileContext],
+    test_contexts: Sequence[FileContext],
+    *,
+    registry_names: Mapping[str, set[str]] | None = None,
+    hooks: frozenset[str] = PARALLEL_HOOKS,
+) -> list[Violation]:
+    """RPL009 core check over parsed source + equality-test trees.
+
+    ``registry_names`` maps registry key strings (``"JAG-M-HEUR"``) to the
+    bare names of their implementation chain, bridging the string-keyed
+    ``partition_2d`` dispatch the equality tests use.
+    """
+    out: list[Violation] = []
+    graph = ProjectGraph.build([*src_contexts, *test_contexts])
+    test_paths = {ctx.rel for ctx in test_contexts}
+
+    # roots: every function defined in an equality/sweep test file, whatever
+    # their module-level tables reference, plus the registry implementations
+    # those files name as strings
+    roots = {f.key for f in graph.functions.values() if f.path in test_paths}
+    for ctx in test_contexts:
+        roots |= graph.module_edges.get(module_name(ctx.rel), set())
+    if registry_names:
+        mentioned: set[str] = set()
+        for ctx in test_contexts:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    mentioned.add(node.value)
+        for key, impl_names in registry_names.items():
+            if key in mentioned:
+                for bare in impl_names:
+                    roots |= graph.by_name.get(bare, set())
+    reachable = graph.reachable_from(roots)
+
+    for ctx in src_contexts:
+        mod = module_name(ctx.rel)
+        for fn in graph.functions_in(ctx.rel):
+            flow = FunctionFlow(fn.node)
+
+            def guard_seed(e: ast.expr, _m: str = mod) -> bool:
+                return _is_guard_call(graph, _m, e)
+
+            def hook_seed(e: ast.expr, _m: str = mod) -> bool:
+                return _is_hook_call(graph, _m, e, hooks)
+
+            guard_vars = flow.tainted(seed=guard_seed)
+            parents = _build_parents(fn.node)
+            has_site = False
+
+            # --- branch sites: `if perf_enabled():` / `if fast:` ---------
+            for block in _statement_lists(fn.node):
+                for stmt in block:
+                    if not isinstance(stmt, ast.If):
+                        continue
+                    test_names = terminal_names(stmt.test)
+                    is_site = bool(test_names & guard_vars) or any(
+                        _is_guard_call(graph, mod, sub)
+                        for sub in ast.walk(stmt.test)
+                        if isinstance(sub, ast.Call)
+                    )
+                    if not is_site:
+                        continue
+                    has_site = True
+                    fast_returns = bool(stmt.body) and isinstance(
+                        stmt.body[-1], ast.Return
+                    )
+                    if (
+                        not stmt.orelse
+                        and fast_returns
+                        and _falls_off_end(fn.node, stmt, parents)
+                    ):
+                        out.append(
+                            Violation(
+                                path=ctx.rel,
+                                line=stmt.lineno,
+                                col=stmt.col_offset + 1,
+                                rule="RPL009",
+                                message=(
+                                    f"guarded fast path in `{fn.qualname}` has no "
+                                    "reference twin: the dispatch `if` has no else "
+                                    "branch and no fall-through code"
+                                ),
+                            )
+                        )
+                        continue
+                    twins = _twin_arities(graph, mod, stmt)
+                    if twins is not None and twins[0].arity != twins[1].arity:
+                        fast, ref = twins
+                        out.append(
+                            Violation(
+                                path=ctx.rel,
+                                line=stmt.lineno,
+                                col=stmt.col_offset + 1,
+                                rule="RPL009",
+                                message=(
+                                    f"dispatch twins `{fast.name}` {fast.arity} and "
+                                    f"`{ref.name}` {ref.arity} have incompatible "
+                                    "positional signatures"
+                                ),
+                            )
+                        )
+
+            # --- hook sites: `cuts = parallel_stripe_cuts(...)` ----------
+            hook_calls = [
+                sub
+                for sub in walk_scope(fn.node)
+                if isinstance(sub, ast.Call) and _is_hook_call(graph, mod, sub, hooks)
+            ]
+            if hook_calls:
+                has_site = True
+                hook_vars = flow.tainted(seed=hook_seed)
+                checked = any(
+                    terminal_names(stmt.test) & hook_vars
+                    for stmt in walk_scope(fn.node)
+                    if isinstance(stmt, ast.If)
+                )
+                passed_through = any(
+                    flow._expr_tainted(r, hook_vars, hook_seed) for r in flow.returns
+                )
+                if not checked and not passed_through:
+                    call = hook_calls[0]
+                    bare, _ = _callee_names(graph, mod, call)
+                    out.append(
+                        Violation(
+                            path=ctx.rel,
+                            line=call.lineno,
+                            col=call.col_offset + 1,
+                            rule="RPL009",
+                            message=(
+                                f"`{fn.qualname}` calls parallel hook `{bare}` but "
+                                "never None-checks (or passes through) its result — "
+                                "the serial reference fallback is unreachable"
+                            ),
+                        )
+                    )
+
+            # --- test reachability --------------------------------------
+            if has_site and fn.key not in reachable:
+                out.append(
+                    Violation(
+                        path=ctx.rel,
+                        line=fn.lineno,
+                        col=fn.node.col_offset + 1,
+                        rule="RPL009",
+                        message=(
+                            f"dispatch function `{fn.qualname}` is not reachable "
+                            "from any tests/test_*_equality.py / test_sweep*.py "
+                            "test — the bit-identity contract on its fast path "
+                            "is unenforced"
+                        ),
+                    )
+                )
+    return out
+
+
+def find_equality_test_files(src_root: Path) -> list[Path]:
+    """Locate the equality/sweep test files for a linted source tree.
+
+    Walks up from ``src_root`` looking for a sibling ``tests`` directory
+    (the same strategy RPL004 uses to locate ``docs/``).
+    """
+    node = src_root.resolve()
+    for _ in range(6):
+        tests = node / "tests"
+        if tests.is_dir():
+            return sorted(
+                p
+                for p in tests.glob("test_*.py")
+                if any(fnmatch.fnmatch(p.name, pat) for pat in EQUALITY_TEST_PATTERNS)
+            )
+        if node.parent == node:
+            break
+        node = node.parent
+    return []
+
+
+class DispatchTwinRule(ProjectRule):
+    """RPL009 — guarded fast paths have twins and equality-test coverage.
+
+    Runs only when the linted tree contains ``repro/core/registry.py`` (the
+    full source tree); skips quietly under ``--changed`` partial sets.
+    """
+
+    code = "RPL009"
+    name = "dispatch-twin-contract"
+    rationale = (
+        "every perf_enabled()/parallel/sweep fast path needs a reachable "
+        "reference twin, and its function must be reachable from an "
+        "equality/sweep test — an untested twin is an unenforced contract"
+    )
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Violation]:
+        registry_ctx = next(
+            (c for c in files if c.path.as_posix().endswith("repro/core/registry.py")),
+            None,
+        )
+        if registry_ctx is None:
+            return
+        test_files = find_equality_test_files(registry_ctx.path.parent)
+        test_contexts: list[FileContext] = []
+        for path in test_files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                test_contexts.append(FileContext(path, path.as_posix(), source))
+            except (OSError, SyntaxError, ValueError):
+                continue
+        registry_names: dict[str, set[str]] = {}
+        try:
+            from ..core.registry import ALGORITHMS
+
+            from .rules import ExperimentsCoverageRule
+
+            for key, fn in ALGORITHMS.items():
+                if callable(fn):
+                    registry_names[key] = ExperimentsCoverageRule._chain_names(fn)
+        except Exception:  # pragma: no cover - registry import is best-effort
+            registry_names = {}
+        yield from check_dispatch_twins(
+            list(files), test_contexts, registry_names=registry_names
+        )
+
+
+# ---------------------------------------------------------------------------
+# RPL010 — determinism in bit-identity modules
+# ---------------------------------------------------------------------------
+
+_ENTROPY_MODULES = frozenset({"random", "secrets", "uuid"})
+_TIME_CALLS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+     "process_time", "process_time_ns", "now", "utcnow"}
+)
+_UNORDERED_POOL = frozenset({"as_completed", "imap_unordered"})
+_SET_CTORS = frozenset({"set", "frozenset"})
+_SEQ_WRAPPERS = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+_DICT_VIEWS = frozenset({"values", "keys", "items"})
+
+
+def _is_id_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "id"
+    )
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _SET_CTORS
+        and bool(expr.args)  # bare set() is an empty accumulator, not a source
+    )
+
+
+class DeterminismRule(Rule):
+    """RPL010 — no nondeterminism sources in bit-identity modules.
+
+    The equality tests compare two runs *within one process*; hash-order
+    iteration, ``id()`` escapes and entropy calls can agree on a lucky run
+    and diverge across processes or interpreter invocations.  This rule
+    flags the sources statically, in the packages carrying the contract.
+    """
+
+    code = "RPL010"
+    name = "determinism"
+    rationale = (
+        "bit-identity modules must not let set/hash iteration order, id() "
+        "values, entropy or unordered pool results reach their outputs"
+    )
+    scope = CONTRACT_PACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        id_keyed = self._id_keyed_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, id_keyed)
+            elif isinstance(node, ast.ImportFrom) and node.module in _ENTROPY_MODULES:
+                yield self.violation(
+                    ctx, node, f"import from entropy module `{node.module}` in a bit-identity module"
+                )
+        # module-scope entropy/pool patterns (rare but possible)
+        yield from self._check_calls(ctx, ctx.tree, id_keyed)
+
+    # -- building blocks ------------------------------------------------
+
+    def _id_keyed_names(self, tree: ast.AST) -> set[str]:
+        """Container names subscripted / ``.get``-ed with ``id()``-derived keys."""
+        out: set[str] = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            flow = FunctionFlow(fn)
+            idt = flow.tainted(seed=_is_id_call)
+
+            def keyed(expr: ast.expr) -> bool:
+                return _is_id_call(expr) or bool(terminal_names(expr) & idt)
+
+            for node in walk_scope(fn):
+                if isinstance(node, ast.Subscript) and keyed(node.slice):
+                    out |= terminal_names(node.value)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("get", "setdefault", "pop")
+                    and node.args
+                    and keyed(node.args[0])
+                ):
+                    out |= terminal_names(node.func.value)
+        return out
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        id_keyed: set[str],
+    ) -> Iterator[Violation]:
+        flow = FunctionFlow(fn)
+        set_names = flow.tainted(seed=_is_set_expr)
+
+        def unordered(expr: ast.expr) -> bool:
+            if _is_set_expr(expr):
+                return True
+            if isinstance(expr, ast.Name) and expr.id in set_names:
+                return True
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in _SEQ_WRAPPERS
+                and expr.args
+            ):
+                return unordered(expr.args[0])
+            return False
+
+        def id_keyed_view(expr: ast.expr) -> bool:
+            e = expr
+            while (
+                isinstance(e, ast.Call)
+                and isinstance(e.func, ast.Name)
+                and e.func.id in _SEQ_WRAPPERS
+                and e.args
+            ):
+                e = e.args[0]
+            if isinstance(e, ast.Name) and e.id in id_keyed:
+                return True
+            return (
+                isinstance(e, ast.Call)
+                and isinstance(e.func, ast.Attribute)
+                and e.func.attr in _DICT_VIEWS
+                and bool(terminal_names(e.func.value) & id_keyed)
+            )
+
+        # 1. unordered iteration (set order, or an identity-keyed container's
+        #    allocation order) whose results reach the return value
+        for node in walk_scope(fn):
+            it: ast.expr | None = None
+            target: ast.AST | None = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                it, target = node.iter, node.target
+            elif isinstance(node, ast.comprehension):
+                it, target = node.iter, node.target
+            if it is None or target is None:
+                continue
+            if unordered(it):
+                message = (
+                    "iteration order of a set reaches the return value; "
+                    "sort (or otherwise canonicalize) before iterating"
+                )
+            elif id_keyed_view(it):
+                message = (
+                    "iteration over an identity-keyed container reaches the "
+                    "return value; results would follow object allocation order"
+                )
+            else:
+                continue
+            seeds = {n for n in terminal_names(target)}
+            tainted = flow.tainted(seed_names=seeds)
+            if flow.first_tainted_return(tainted) is not None:
+                yield self.violation(
+                    ctx, node if hasattr(node, "lineno") else it, message
+                )
+
+        # 2. id() value escaping through the return value (lookups by an
+        #    id-derived key are laundered: the value found is not the id)
+        id_tainted = flow.tainted(seed=_is_id_call, launder_lookups=True)
+        escape = flow.first_tainted_return(
+            id_tainted, seed=_is_id_call, launder_lookups=True
+        )
+        if escape is not None:
+            yield self.violation(
+                ctx,
+                escape,
+                "id()-derived value escapes through the return value; object "
+                "identity differs across runs and processes",
+            )
+
+        yield from self._check_calls(ctx, fn, id_keyed)
+
+    def _check_calls(
+        self, ctx: FileContext, root: ast.AST, id_keyed: set[str]
+    ) -> Iterator[Violation]:
+        direct = root if isinstance(root, ast.Module) else None
+        nodes = (
+            [n for n in ast.iter_child_nodes(direct)] if direct is not None else list(walk_scope(root))
+        )
+        seen: set[int] = set()
+        stack = nodes
+        while stack:
+            node = stack.pop()
+            if direct is not None:
+                # module scope: don't re-descend into functions (handled above)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call) or id(node) in seen:
+                continue
+            seen.add(id(node))
+            f = node.func
+            if isinstance(f, ast.Attribute):
+                base = f.value
+                root_name = base.id if isinstance(base, ast.Name) else None
+                if root_name in _ENTROPY_MODULES:
+                    yield self.violation(
+                        ctx, node, f"entropy call `{root_name}.{f.attr}(...)` in a bit-identity module"
+                    )
+                elif root_name == "time" and f.attr in _TIME_CALLS:
+                    yield self.violation(
+                        ctx, node, f"wall-clock call `time.{f.attr}()` in a bit-identity module"
+                    )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in ("np", "numpy")
+                ):
+                    yield self.violation(
+                        ctx, node, f"`np.random.{f.attr}(...)` in a bit-identity module"
+                    )
+                elif f.attr in _UNORDERED_POOL:
+                    yield self.violation(
+                        ctx, node, f"unordered pool consumption `{f.attr}(...)`: completion "
+                        "order varies run to run",
+                    )
+            elif isinstance(f, ast.Name):
+                if f.id in _UNORDERED_POOL:
+                    yield self.violation(
+                        ctx, node, f"unordered pool consumption `{f.id}(...)`: completion "
+                        "order varies run to run",
+                    )
+                elif f.id == "default_rng" and not node.args:
+                    yield self.violation(
+                        ctx, node, "`default_rng()` without a seed in a bit-identity module"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RPL011 — environment-variable config registry
+# ---------------------------------------------------------------------------
+
+#: modules allowed to read ``os.environ`` directly: any ``config.py`` plus
+#: the sweep engine (whose store path knob predates the registry)
+_CONFIG_MODULE_SUFFIXES = ("/config.py", "sweep/engine.py")
+
+
+def _env_read_sites(tree: ast.AST) -> Iterator[tuple[ast.AST, str | None]]:
+    """``(node, var name literal or None)`` for every environment *read*."""
+
+    def env_base(expr: ast.expr) -> bool:
+        # os.environ / environ
+        if isinstance(expr, ast.Attribute) and expr.attr == "environ":
+            return True
+        return isinstance(expr, ast.Name) and expr.id == "environ"
+
+    def literal(args: list[ast.expr]) -> str | None:
+        if args and isinstance(args[0], ast.Constant) and isinstance(args[0].value, str):
+            return args[0].value
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript) and env_base(node.value):
+            if isinstance(node.ctx, ast.Load):
+                name = None
+                if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, str):
+                    name = node.slice.value
+                yield node, name
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute) and f.attr == "get" and env_base(f.value):
+                yield node, literal(node.args)
+            elif isinstance(f, ast.Attribute) and f.attr == "getenv":
+                yield node, literal(node.args)
+            elif isinstance(f, ast.Name) and f.id == "getenv":
+                yield node, literal(node.args)
+
+
+def check_env_reads(
+    files: Sequence[FileContext],
+    *,
+    declared: Mapping[str, str] | None,
+    registry_rel: str | None,
+    docs_text: str | None,
+) -> list[Violation]:
+    """RPL011 core check.
+
+    ``declared`` maps registered env-var names to their documented defaults
+    (parsed from ``repro/config.py``); ``None`` skips the declaration and
+    docs checks (partial file sets).
+    """
+    out: list[Violation] = []
+    read_names: set[str] = set()
+    for ctx in files:
+        allowed = any(ctx.rel.endswith(suffix) for suffix in _CONFIG_MODULE_SUFFIXES)
+        for node, name in _env_read_sites(ctx.tree):
+            if name is not None:
+                read_names.add(name)
+            lineno = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+            if not allowed:
+                out.append(
+                    Violation(
+                        path=ctx.rel,
+                        line=lineno,
+                        col=col,
+                        rule="RPL011",
+                        message=(
+                            "environment read outside a declared config module; "
+                            "route it through repro.config (or a */config.py)"
+                        ),
+                    )
+                )
+            if name is None:
+                out.append(
+                    Violation(
+                        path=ctx.rel,
+                        line=lineno,
+                        col=col,
+                        rule="RPL011",
+                        message=(
+                            "environment read with a non-literal variable name "
+                            "cannot be registered or documented"
+                        ),
+                    )
+                )
+        # os.environ[...] reads (even in config modules) bypass defaults
+        for node, _name in _env_read_sites(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                out.append(
+                    Violation(
+                        path=ctx.rel,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="RPL011",
+                        message=(
+                            "`os.environ[...]` read raises on absence and has no "
+                            "default; use `.get(name, default)`"
+                        ),
+                    )
+                )
+    if declared is None or registry_rel is None:
+        return out
+    anchor = registry_rel
+    for name in sorted(read_names - set(declared)):
+        out.append(
+            Violation(
+                path=anchor,
+                line=1,
+                col=1,
+                rule="RPL011",
+                message=(
+                    f"environment variable {name!r} is read but not declared in "
+                    "ENV_VARS (repro/config.py)"
+                ),
+            )
+        )
+    if docs_text is not None:
+        for name in sorted(set(declared)):
+            if name not in docs_text:
+                out.append(
+                    Violation(
+                        path=anchor,
+                        line=1,
+                        col=1,
+                        rule="RPL011",
+                        message=(
+                            f"declared environment variable {name!r} is not "
+                            "documented anywhere under docs/"
+                        ),
+                    )
+                )
+    return out
+
+
+class ConfigRegistryRule(ProjectRule):
+    """RPL011 — env reads go through declared, documented config modules."""
+
+    code = "RPL011"
+    name = "config-registry"
+    rationale = (
+        "every os.environ read must live in a declared config module, be "
+        "registered in repro/config.py ENV_VARS with a default, and be "
+        "documented under docs/"
+    )
+
+    def check_project(self, files: Sequence[FileContext]) -> Iterator[Violation]:
+        registry_ctx = next(
+            (c for c in files if c.path.as_posix().endswith("repro/config.py")), None
+        )
+        declared: dict[str, str] | None = None
+        registry_rel: str | None = None
+        docs_text: str | None = None
+        if registry_ctx is not None:
+            registry_rel = registry_ctx.rel
+            declared = self._parse_declared(registry_ctx.tree)
+            docs_text = self._all_docs_text(registry_ctx.path)
+        yield from check_env_reads(
+            files, declared=declared, registry_rel=registry_rel, docs_text=docs_text
+        )
+
+    @staticmethod
+    def _parse_declared(tree: ast.AST) -> dict[str, str]:
+        """Keys (and rendered defaults) of the ``ENV_VARS`` dict literal."""
+        out: dict[str, str] = {}
+        for node in ast.walk(tree):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                value = node.value
+            else:
+                continue
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "ENV_VARS"
+                and isinstance(value, ast.Dict)
+            ):
+                for k, v in zip(value.keys, value.values):
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                        out[k.value] = ast.unparse(v) if v is not None else ""
+        return out
+
+    @staticmethod
+    def _all_docs_text(config_path: Path) -> str | None:
+        node = config_path.resolve().parent
+        for _ in range(6):
+            docs = node / "docs"
+            if docs.is_dir():
+                return "\n".join(
+                    p.read_text(encoding="utf-8") for p in sorted(docs.glob("*.md"))
+                )
+            if node.parent == node:
+                break
+            node = node.parent
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RPL012 — shared-memory / pool resource lifecycle
+# ---------------------------------------------------------------------------
+
+_POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool", "ThreadPoolExecutor"})
+
+
+def _call_name(call: ast.Call) -> str:
+    f = call.func
+    return f.id if isinstance(f, ast.Name) else getattr(f, "attr", "")
+
+
+def _mentions_cleanup(node: ast.AST, var: str) -> bool:
+    """Does ``node`` contain ``var.close()`` / ``var.unlink()``?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in ("close", "unlink", "shutdown")
+            and var in terminal_names(sub.func.value)
+        ):
+            return True
+    return False
+
+
+class ResourceLifecycleRule(Rule):
+    """RPL012 — segments and pools pair creation with cleanup on all paths.
+
+    A ``SharedMemory(create=True)`` segment is a kernel object surviving the
+    creating frame; between creation and the registration of a cleanup
+    (finalizer, module registry consumed by a release function, try/finally)
+    any exception leaks it for the process lifetime.  Pools spawn worker
+    processes and must register shutdown (``atexit`` or ``with``).
+    """
+
+    code = "RPL012"
+    name = "resource-lifecycle"
+    rationale = (
+        "shared_memory create/attach must pair with unlink/close on all "
+        "paths (try/finally or finalizer); pool spawns must register shutdown"
+    )
+    scope = None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module_dicts = self._module_container_names(ctx.tree)
+        has_atexit = self._has_atexit_register(ctx.tree)
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_segments(ctx, fn, module_dicts)
+            yield from self._check_pools(ctx, fn, has_atexit)
+
+    # -- module-level facts ---------------------------------------------
+
+    @staticmethod
+    def _module_container_names(tree: ast.AST) -> set[str]:
+        out: set[str] = set()
+        body = getattr(tree, "body", [])
+        for node in body:
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and (
+                isinstance(value, (ast.Dict, ast.List))
+                or (isinstance(value, ast.Call) and _call_name(value) in ("dict", "list", "deque"))
+            ):
+                out.add(target.id)
+        return out
+
+    @staticmethod
+    def _has_atexit_register(tree: ast.AST) -> bool:
+        for node in getattr(tree, "body", []):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _call_name(node.value) == "register"
+            ):
+                return True
+        return False
+
+    # -- segments -------------------------------------------------------
+
+    def _check_segments(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_dicts: set[str],
+    ) -> Iterator[Violation]:
+        for block in _statement_lists(fn):
+            for idx, stmt in enumerate(block):
+                site = self._segment_assign(stmt)
+                if site is None:
+                    continue
+                var, call, is_create = site
+                protected, leaky_window = self._segment_protection(
+                    fn, block, idx, var, module_dicts
+                )
+                if not protected:
+                    kind = "created" if is_create else "attached"
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"shared-memory segment {kind} with no reachable "
+                        "unlink/close: register a finalizer, store it in a "
+                        "released module registry, or close in try/finally",
+                    )
+                elif is_create and leaky_window is not None:
+                    yield self.violation(
+                        ctx,
+                        leaky_window,
+                        f"statement between segment creation and cleanup "
+                        f"registration can leak `{var}` on exception; wrap it "
+                        "in try/except unlink (or register the cleanup first)",
+                    )
+
+    @staticmethod
+    def _segment_assign(stmt: ast.stmt) -> tuple[str, ast.Call, bool] | None:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and _call_name(stmt.value) == "SharedMemory"
+        ):
+            is_create = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in stmt.value.keywords
+            )
+            return stmt.targets[0].id, stmt.value, is_create
+        return None
+
+    def _segment_protection(
+        self,
+        fn: ast.AST,
+        block: list[ast.stmt],
+        idx: int,
+        var: str,
+        module_dicts: set[str],
+    ) -> tuple[bool, ast.stmt | None]:
+        """``(protected, first statement in an unprotected window or None)``."""
+
+        def is_protection(stmt: ast.stmt) -> bool:
+            if isinstance(stmt, ast.Return):
+                return True  # ownership transferred to the caller
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and _call_name(sub) == "finalize"
+                ):
+                    return True
+                if (
+                    isinstance(sub, ast.Assign)
+                    and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Subscript)
+                    and terminal_names(sub.targets[0].value) & module_dicts
+                    and var in terminal_names(sub.value)
+                ):
+                    return True
+            return False
+
+        # try/finally or with anywhere in the function that cleans the var up
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Try):
+                for region in (node.finalbody, *[h.body for h in node.handlers]):
+                    for stmt in region:
+                        if _mentions_cleanup(stmt, var):
+                            return True, None
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and _call_name(item.context_expr) == "SharedMemory"
+                    ):
+                        return True, None
+
+        window: ast.stmt | None = None
+        for stmt in block[idx + 1 :]:
+            if is_protection(stmt):
+                return True, window
+            if isinstance(stmt, ast.Try):
+                cleans = any(
+                    _mentions_cleanup(s, var)
+                    for region in (stmt.finalbody, *[h.body for h in stmt.handlers])
+                    for s in region
+                )
+                if cleans and any(is_protection(s) for s in stmt.body):
+                    return True, None
+            if window is None:
+                window = stmt
+        return False, None
+
+    # -- pools ----------------------------------------------------------
+
+    def _check_pools(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        has_atexit: bool,
+    ) -> Iterator[Violation]:
+        with_ctors = {
+            id(item.context_expr)
+            for node in walk_scope(fn)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+            if isinstance(item.context_expr, ast.Call)
+        }
+        for node in walk_scope(fn):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node) in _POOL_CTORS
+                and id(node) not in with_ctors
+                and not has_atexit
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{_call_name(node)}` spawned outside a `with` block in a "
+                    "module with no atexit-registered shutdown path",
+                )

@@ -20,6 +20,12 @@ from .engine import (
     Rule,
     Violation,
 )
+from .flowrules import (
+    ConfigRegistryRule,
+    DeterminismRule,
+    DispatchTwinRule,
+    ResourceLifecycleRule,
+)
 
 __all__ = [
     "PrefixSumRule",
@@ -30,6 +36,10 @@ __all__ = [
     "ComplexityBudgetRule",
     "ComplexityClaimRule",
     "ExperimentsCoverageRule",
+    "DispatchTwinRule",
+    "DeterminismRule",
+    "ConfigRegistryRule",
+    "ResourceLifecycleRule",
     "check_registry",
     "check_budgets",
     "check_claims",
@@ -891,6 +901,8 @@ ALL_RULES: list[Rule] = [
     HalfOpenRule(),
     IntegerLoadRule(),
     NoInputMutationRule(),
+    DeterminismRule(),
+    ResourceLifecycleRule(),
 ]
 
 #: whole-project rules
@@ -899,4 +911,6 @@ ALL_PROJECT_RULES: list[ProjectRule] = [
     ComplexityBudgetRule(),
     ExperimentsCoverageRule(),
     ComplexityClaimRule(),
+    DispatchTwinRule(),
+    ConfigRegistryRule(),
 ]

@@ -45,11 +45,11 @@ __all__ = [
 ]
 
 
-def _env_truthy(name: str, default: str) -> bool:
-    return os.environ.get(name, default).strip().lower() not in {"0", "false", "off", "no", ""}
+def _env_truthy(raw: str) -> bool:
+    return raw.strip().lower() not in {"0", "false", "off", "no", ""}
 
 
-_ENABLED: bool = _env_truthy("REPRO_PARALLEL", "0")
+_ENABLED: bool = _env_truthy(os.environ.get("REPRO_PARALLEL", "0"))
 
 #: runtime override of the worker count; ``None`` defers to the environment
 _WORKERS: int | None = None

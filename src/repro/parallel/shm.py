@@ -89,10 +89,17 @@ def export_prefix(pref: PrefixSum2D) -> PrefixHandle:
     entry = _EXPORTS.get(key)
     if entry is not None and entry[1].alive:
         return PrefixHandle(entry[0], pref.G.shape)
-    name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(2)}"
+    name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(2)}"  # repro-lint: disable=RPL010 — entropy names the segment only; partition results never depend on it
     seg = shared_memory.SharedMemory(name=name, create=True, size=pref.G.nbytes)
-    view = np.ndarray(pref.G.shape, dtype=np.int64, buffer=seg.buf)
-    view[:] = pref.G
+    try:
+        view = np.ndarray(pref.G.shape, dtype=np.int64, buffer=seg.buf)
+        view[:] = pref.G
+    except BaseException:
+        # the segment is a kernel object: if the copy dies before the
+        # registration below, nothing would ever unlink it
+        seg.close()
+        seg.unlink()
+        raise
     _SEGMENTS[name] = seg
     fin = weakref.finalize(pref, _unlink_segment, name)
     fin.atexit = False  # release_all's atexit hook covers interpreter exit

@@ -1,14 +1,19 @@
-"""Tests for the repro-lint static-analysis subsystem (RPL001–RPL007).
+"""Tests for the repro-lint static-analysis subsystem (RPL001–RPL012, RPL100).
 
 Each rule is exercised both ways: a fixture snippet that must trigger it and
 the idiomatic equivalent that must stay silent, plus the suppression syntax.
-A final smoke test asserts the linter exits 0 on the repo's own source tree
-— the property CI enforces.
+The dataflow rules (RPL009–RPL012) additionally run on synthetic project
+trees, and a doctored-tree test pins the acceptance property that deleting
+an equality test breaks the lint gate.  A final smoke test asserts the
+linter exits 0 on the repo's own source tree — the property CI enforces.
 """
 
 from __future__ import annotations
 
+import ast
 import json
+import shutil
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -16,8 +21,13 @@ import pytest
 from repro.core.partition import Partition
 from repro.lint import check_budgets, check_registry, lint_paths
 from repro.lint.cli import main as lint_main
-from repro.lint.engine import LintResult, Violation
-from repro.lint.reporters import json_report, text_report
+from repro.lint.engine import FileContext, LintResult, Violation
+from repro.lint.flowrules import (
+    ConfigRegistryRule,
+    check_dispatch_twins,
+    check_env_reads,
+)
+from repro.lint.reporters import json_report, sarif_report, text_report
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -32,6 +42,11 @@ def lint_snippet(tmp_path: Path, package: str, source: str) -> LintResult:
 
 def codes(result: LintResult) -> list[str]:
     return [v.rule for v in result.violations]
+
+
+def make_ctx(rel: str, source: str) -> FileContext:
+    """A parsed FileContext for a file that need not exist on disk."""
+    return FileContext(Path(rel), rel, source)
 
 
 class TestRPL001PrefixSum:
@@ -519,3 +534,631 @@ class TestRepoIsClean:
         a = Violation("a.py", 1, 1, "RPL001", "x")
         b = Violation("a.py", 2, 1, "RPL001", "x")
         assert a < b
+
+
+class TestRPL009DispatchTwins:
+    """RPL009: guarded fast paths have twins and equality-test coverage."""
+
+    TEST_CTX = make_ctx(
+        "tests/test_mod_equality.py",
+        "from repro.oned.mod import solve\n\n"
+        "def test_solve_equality():\n"
+        "    assert solve(1) == solve(1)\n",
+    )
+
+    @staticmethod
+    def _check(src: str, tests=None) -> list[Violation]:
+        ctx = make_ctx("src/repro/oned/mod.py", src)
+        return check_dispatch_twins(
+            [ctx], [TestRPL009DispatchTwins.TEST_CTX] if tests is None else tests
+        )
+
+    def test_missing_twin_triggers(self):
+        out = self._check(
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+        )
+        assert [v.rule for v in out] == ["RPL009"]
+        assert "no reference twin" in out[0].message
+
+    def test_fall_through_reference_is_silent(self):
+        out = self._check(
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def ref(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+            "    return ref(x)\n"
+        )
+        assert out == []
+
+    def test_else_twin_is_silent(self):
+        out = self._check(
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def ref(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+            "    else:\n"
+            "        return ref(x)\n"
+        )
+        assert out == []
+
+    def test_twin_arity_mismatch_triggers(self):
+        out = self._check(
+            "def fast(a, b):\n"
+            "    return a\n\n"
+            "def ref(a):\n"
+            "    return a\n\n"
+            "def solve(a, b):\n"
+            "    if perf_enabled():\n"
+            "        return fast(a, b)\n"
+            "    else:\n"
+            "        return ref(a)\n"
+        )
+        assert [v.rule for v in out] == ["RPL009"]
+        assert "incompatible positional signatures" in out[0].message
+
+    def test_unchecked_hook_triggers(self):
+        out = self._check(
+            "def solve(xs):\n"
+            "    pool = get_pool()\n"
+            "    pool.map(len, xs)\n"
+            "    return xs\n"
+        )
+        assert [v.rule for v in out] == ["RPL009"]
+        assert "never None-checks" in out[0].message
+
+    def test_none_checked_hook_is_silent(self):
+        out = self._check(
+            "def ref(xs):\n"
+            "    return list(xs)\n\n"
+            "def solve(xs):\n"
+            "    pool = get_pool()\n"
+            "    if pool is None:\n"
+            "        return ref(xs)\n"
+            "    return list(pool.map(len, xs))\n"
+        )
+        assert out == []
+
+    def test_unreachable_dispatch_triggers(self):
+        out = self._check(
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def ref(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+            "    return ref(x)\n",
+            tests=[],
+        )
+        assert [v.rule for v in out] == ["RPL009"]
+        assert "not reachable" in out[0].message
+
+    def test_registry_string_bridges_reachability(self):
+        src = (
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def ref(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+            "    return ref(x)\n"
+        )
+        test = make_ctx(
+            "tests/test_reg_equality.py",
+            "def test_registry_equality():\n"
+            "    run('FAST-ALG')\n",
+        )
+        ctx = make_ctx("src/repro/oned/mod.py", src)
+        assert check_dispatch_twins(
+            [ctx], [test], registry_names={"FAST-ALG": {"solve"}}
+        ) == []
+        # without the bridge the same tree is unreachable
+        out = check_dispatch_twins([ctx], [test])
+        assert [v.rule for v in out] == ["RPL009"]
+
+    def test_module_level_dispatch_table_bridges_reachability(self):
+        src = (
+            "def fast(x):\n"
+            "    return x\n\n"
+            "def ref(x):\n"
+            "    return x\n\n"
+            "def solve(x):\n"
+            "    if perf_enabled():\n"
+            "        return fast(x)\n"
+            "    return ref(x)\n"
+        )
+        test = make_ctx(
+            "tests/test_table_equality.py",
+            "from repro.oned.mod import solve\n\n"
+            "CASES = {'solve': lambda x: solve(x)}\n\n"
+            "def test_cases_equality():\n"
+            "    for fn in CASES.values():\n"
+            "        fn(1)\n",
+        )
+        assert check_dispatch_twins([make_ctx("src/repro/oned/mod.py", src)], [test]) == []
+
+
+class TestRPL009DoctoredTree:
+    """The acceptance pin: deleting an equality test breaks the lint gate."""
+
+    def _doctored(self, tmp_path: Path, victim: str | None) -> LintResult:
+        ignore = shutil.ignore_patterns("__pycache__")
+        shutil.copytree(REPO_ROOT / "src" / "repro", tmp_path / "src" / "repro", ignore=ignore)
+        shutil.copytree(REPO_ROOT / "tests", tmp_path / "tests", ignore=ignore)
+        if victim is not None:
+            (tmp_path / "tests" / victim).unlink()
+        return lint_paths([tmp_path / "src" / "repro"], select={"RPL009"})
+
+    def test_intact_tree_is_clean(self, tmp_path):
+        res = self._doctored(tmp_path, None)
+        assert codes(res) == []
+        assert res.exit_code == 0
+
+    @pytest.mark.parametrize(
+        "victim", ["test_perf_equality.py", "test_parallel_equality.py"]
+    )
+    def test_deleting_equality_test_fails_lint(self, tmp_path, victim):
+        res = self._doctored(tmp_path, victim)
+        assert res.exit_code == 1
+        assert {v.rule for v in res.violations} == {"RPL009"}
+        assert any("not reachable" in v.message for v in res.violations)
+
+
+class TestRPL010Determinism:
+    def test_set_iteration_to_return_triggers(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in set(xs):\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        res = lint_snippet(tmp_path, "sweep", src)
+        assert codes(res) == ["RPL010"]
+        assert "iteration order of a set" in res.violations[0].message
+
+    def test_sorted_iteration_is_silent(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in sorted(set(xs)):\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        assert codes(lint_snippet(tmp_path, "sweep", src)) == []
+
+    def test_set_iteration_not_returned_is_silent(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    n = 0\n"
+            "    for x in set(xs):\n"
+            "        n += 1\n"
+            "    return n\n"
+        )
+        assert codes(lint_snippet(tmp_path, "sweep", src)) == []
+
+    def test_id_escape_triggers(self, tmp_path):
+        res = lint_snippet(tmp_path, "sweep", "def f(obj):\n    return id(obj)\n")
+        assert codes(res) == ["RPL010"]
+        assert "id()-derived" in res.violations[0].message
+
+    def test_id_keyed_lookup_result_is_laundered(self, tmp_path):
+        src = (
+            "def f(obj, table):\n"
+            "    entry = table.get(id(obj))\n"
+            "    return entry\n"
+        )
+        assert codes(lint_snippet(tmp_path, "sweep", src)) == []
+
+    def test_id_keyed_iteration_to_return_triggers(self, tmp_path):
+        src = (
+            "def f(obj, v):\n"
+            "    table = {}\n"
+            "    table[id(obj)] = v\n"
+            "    out = []\n"
+            "    for k, val in table.items():\n"
+            "        out.append(val)\n"
+            "    return out\n"
+        )
+        res = lint_snippet(tmp_path, "sweep", src)
+        assert codes(res) == ["RPL010"]
+        assert "identity-keyed" in res.violations[0].message
+
+    def test_entropy_import_and_call_trigger(self, tmp_path):
+        res = lint_snippet(tmp_path, "sweep", "from random import shuffle\n")
+        assert codes(res) == ["RPL010"]
+        res = lint_snippet(
+            tmp_path, "sweep", "import random\n\ndef f():\n    return random.random()\n"
+        )
+        assert codes(res) == ["RPL010"]
+
+    def test_wall_clock_triggers(self, tmp_path):
+        src = "import time\n\ndef f():\n    t = time.perf_counter()\n    return t\n"
+        res = lint_snippet(tmp_path, "sweep", src)
+        assert codes(res) == ["RPL010"]
+        assert "wall-clock" in res.violations[0].message
+
+    def test_unordered_pool_consumption_triggers(self, tmp_path):
+        src = (
+            "def f(fs):\n"
+            "    out = []\n"
+            "    for r in as_completed(fs):\n"
+            "        out.append(r)\n"
+            "    return out\n"
+        )
+        res = lint_snippet(tmp_path, "sweep", src)
+        assert codes(res) == ["RPL010"]
+        assert "completion" in res.violations[0].message
+
+    def test_default_rng_seeding(self, tmp_path):
+        assert codes(lint_snippet(tmp_path, "sweep", "def f():\n    return default_rng()\n")) == [
+            "RPL010"
+        ]
+        assert codes(lint_snippet(tmp_path, "sweep", "def f():\n    return default_rng(0)\n")) == []
+
+    def test_outside_contract_packages_is_silent(self, tmp_path):
+        res = lint_snippet(tmp_path, "experiments", "def f(obj):\n    return id(obj)\n")
+        assert codes(res) == []
+
+    def test_suppression(self, tmp_path):
+        src = "def f(obj):\n    return id(obj)  # repro-lint: disable=RPL010 — in-process handle only\n"
+        res = lint_snippet(tmp_path, "sweep", src)
+        assert codes(res) == []
+        assert [v.rule for v in res.suppressed] == ["RPL010"]
+
+
+class TestRPL011ConfigRegistry:
+    @staticmethod
+    def _check(files, declared=None, registry_rel=None, docs_text=None):
+        return check_env_reads(
+            files, declared=declared, registry_rel=registry_rel, docs_text=docs_text
+        )
+
+    def test_read_outside_config_module_triggers(self, tmp_path):
+        src = "import os\nv = os.environ.get('REPRO_X', '')\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL011"]
+        assert "outside a declared config module" in res.violations[0].message
+
+    def test_read_in_config_module_is_allowed(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ.get('REPRO_X', '1')\n"
+        )
+        assert self._check([ctx]) == []
+
+    def test_non_literal_name_triggers(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ.get(name)\n"
+        )
+        out = self._check([ctx])
+        assert [v.rule for v in out] == ["RPL011"]
+        assert "non-literal" in out[0].message
+
+    def test_subscript_read_triggers_even_in_config(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ['REPRO_X']\n"
+        )
+        out = self._check([ctx])
+        assert [v.rule for v in out] == ["RPL011"]
+        assert "no default" in out[0].message
+
+    def test_env_write_is_silent(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "import os\nos.environ['REPRO_X'] = '1'\n")
+        assert codes(res) == []
+
+    def test_undeclared_name_triggers(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ.get('REPRO_NEW', '')\n"
+        )
+        out = self._check(
+            [ctx],
+            declared={"REPRO_OLD": "'1'"},
+            registry_rel="src/repro/config.py",
+            docs_text="REPRO_OLD REPRO_NEW",
+        )
+        assert [v.rule for v in out] == ["RPL011"]
+        assert "'REPRO_NEW'" in out[0].message and "not declared" in out[0].message
+        assert out[0].path == "src/repro/config.py"
+
+    def test_undocumented_declared_name_triggers(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ.get('REPRO_OLD', '')\n"
+        )
+        out = self._check(
+            [ctx],
+            declared={"REPRO_OLD": "'1'"},
+            registry_rel="src/repro/config.py",
+            docs_text="nothing relevant",
+        )
+        assert [v.rule for v in out] == ["RPL011"]
+        assert "not documented" in out[0].message
+
+    def test_declared_and_documented_is_silent(self):
+        ctx = make_ctx(
+            "src/repro/perf/config.py", "import os\nv = os.environ.get('REPRO_OLD', '')\n"
+        )
+        assert (
+            self._check(
+                [ctx],
+                declared={"REPRO_OLD": "'1'"},
+                registry_rel="src/repro/config.py",
+                docs_text="`REPRO_OLD` does things",
+            )
+            == []
+        )
+
+    def test_static_parse_matches_runtime_registry(self):
+        from repro.config import ENV_VARS
+
+        source = (REPO_ROOT / "src" / "repro" / "config.py").read_text(encoding="utf-8")
+        declared = ConfigRegistryRule._parse_declared(ast.parse(source))
+        assert set(declared) == set(ENV_VARS)
+        assert declared["REPRO_PERF"] and "1" in declared["REPRO_PERF"]
+
+
+class TestRPL012ResourceLifecycle:
+    def test_unprotected_create_triggers(self, tmp_path):
+        src = (
+            "def f(n):\n"
+            "    seg = SharedMemory(name=n, create=True, size=8)\n"
+            "    buf = seg.buf\n"
+        )
+        res = lint_snippet(tmp_path, "parallel", src)
+        assert codes(res) == ["RPL012"]
+        assert "no reachable" in res.violations[0].message
+
+    def test_leaky_window_triggers(self, tmp_path):
+        src = (
+            "SEGS = {}\n\n"
+            "def f(n, data):\n"
+            "    seg = SharedMemory(name=n, create=True, size=8)\n"
+            "    seg.buf[0] = data\n"
+            "    SEGS[n] = seg\n"
+        )
+        res = lint_snippet(tmp_path, "parallel", src)
+        assert codes(res) == ["RPL012"]
+        assert "can leak" in res.violations[0].message
+
+    def test_immediate_registry_store_is_silent(self, tmp_path):
+        src = (
+            "SEGS = {}\n\n"
+            "def f(n):\n"
+            "    seg = SharedMemory(name=n, create=True, size=8)\n"
+            "    SEGS[n] = seg\n"
+            "    return seg\n"
+        )
+        assert codes(lint_snippet(tmp_path, "parallel", src)) == []
+
+    def test_finalizer_is_silent(self, tmp_path):
+        src = (
+            "import weakref\n\n"
+            "def f(n, owner, cleanup):\n"
+            "    seg = SharedMemory(name=n, create=True, size=8)\n"
+            "    weakref.finalize(owner, cleanup, n)\n"
+            "    return seg\n"
+        )
+        assert codes(lint_snippet(tmp_path, "parallel", src)) == []
+
+    def test_try_finally_is_silent(self, tmp_path):
+        src = (
+            "def f(n, data):\n"
+            "    seg = SharedMemory(name=n, create=True, size=8)\n"
+            "    try:\n"
+            "        seg.buf[0] = data\n"
+            "    finally:\n"
+            "        seg.close()\n"
+            "        seg.unlink()\n"
+        )
+        assert codes(lint_snippet(tmp_path, "parallel", src)) == []
+
+    def test_pool_outside_with_triggers(self, tmp_path):
+        src = "def f():\n    return ProcessPoolExecutor(2)\n"
+        res = lint_snippet(tmp_path, "parallel", src)
+        assert codes(res) == ["RPL012"]
+        assert "atexit" in res.violations[0].message
+
+    def test_pool_with_atexit_shutdown_is_silent(self, tmp_path):
+        src = (
+            "import atexit\n\n"
+            "def shutdown():\n"
+            "    pass\n\n"
+            "atexit.register(shutdown)\n\n"
+            "def f():\n"
+            "    return ProcessPoolExecutor(2)\n"
+        )
+        assert codes(lint_snippet(tmp_path, "parallel", src)) == []
+
+    def test_pool_in_with_block_is_silent(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    with ProcessPoolExecutor(2) as p:\n"
+            "        return list(p.map(len, xs))\n"
+        )
+        assert codes(lint_snippet(tmp_path, "parallel", src)) == []
+
+
+class TestRPL100StaleSuppressions:
+    def test_stale_line_suppression_triggers(self, tmp_path):
+        src = "x = 1  # repro-lint: disable=RPL003 — obsolete\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL100"]
+        assert "disable=RPL003" in res.violations[0].message
+
+    def test_stale_file_suppression_triggers(self, tmp_path):
+        src = "# repro-lint: disable-file=RPL001 — legacy\nx = 1\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL100"]
+        assert "disable-file=RPL001" in res.violations[0].message
+
+    def test_live_suppression_is_not_stale(self, tmp_path):
+        src = "b = float(total)  # repro-lint: disable=RPL003 — fixture\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+        assert [v.rule for v in res.suppressed] == ["RPL003"]
+
+    def test_unselected_rule_codes_are_not_checkable(self, tmp_path):
+        pkg = tmp_path / "oned"
+        pkg.mkdir()
+        (pkg / "s.py").write_text("x = 1  # repro-lint: disable=RPL003 — obsolete\n")
+        res = lint_paths([pkg], select={"RPL001", "RPL100"})
+        assert codes(res) == []
+
+    def test_unused_disable_all_flagged_only_on_full_run(self, tmp_path):
+        pkg = tmp_path / "oned"
+        pkg.mkdir()
+        (pkg / "s.py").write_text("x = 1  # repro-lint: disable=all — temporary\n")
+        full = lint_paths([pkg])
+        assert codes(full) == ["RPL100"]
+        assert "ALL" in full.violations[0].message
+        partial = lint_paths([pkg], select={"RPL003", "RPL100"})
+        assert codes(partial) == []
+
+    def test_stale_check_can_be_disabled(self, tmp_path):
+        pkg = tmp_path / "oned"
+        pkg.mkdir()
+        (pkg / "s.py").write_text("x = 1  # repro-lint: disable=RPL003 — obsolete\n")
+        res = lint_paths([pkg], stale_check=False)
+        assert codes(res) == []
+
+    def test_stale_finding_is_itself_suppressible(self, tmp_path):
+        src = "x = 1  # repro-lint: disable=RPL003,RPL100 — grandfathered\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == []
+        assert "RPL100" in {v.rule for v in res.suppressed}
+
+    def test_mixed_live_and_stale_lines(self, tmp_path):
+        src = (
+            "b = float(total)  # repro-lint: disable=RPL003 — fixture\n"
+            "x = 1  # repro-lint: disable=RPL002 — obsolete\n"
+        )
+        res = lint_snippet(tmp_path, "oned", src)
+        assert codes(res) == ["RPL100"]
+        assert res.violations[0].line == 2
+
+
+class TestSarifReport:
+    def test_sarif_shape(self, tmp_path):
+        res = lint_snippet(tmp_path, "oned", "b = float(total)\n")
+        payload = json.loads(sarif_report(res))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        for code in ("RPL001", "RPL009", "RPL010", "RPL011", "RPL012", "RPL100"):
+            assert code in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "RPL003"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("snippet.py")
+        assert loc["region"]["startLine"] == 1
+        assert "suppressions" not in result
+
+    def test_sarif_carries_suppressions(self, tmp_path):
+        src = "b = float(total)  # repro-lint: disable=RPL003 — fixture\n"
+        res = lint_snippet(tmp_path, "oned", src)
+        payload = json.loads(sarif_report(res))
+        results = payload["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"] == [{"kind": "inSource"}]
+
+    def test_cli_sarif_output(self, tmp_path, capsys):
+        pkg = tmp_path / "jagged"
+        pkg.mkdir()
+        bad = pkg / "bad.py"
+        bad.write_text("t = A[r0:r1].sum()\n")
+        assert lint_main(["--format", "sarif", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RPL001"
+
+    def test_cli_suppressed_only_exits_zero_with_counts(self, tmp_path, capsys):
+        pkg = tmp_path / "jagged"
+        pkg.mkdir()
+        ok = pkg / "ok.py"
+        ok.write_text("t = A[r0:r1].sum()  # repro-lint: disable=RPL001 — fixture\n")
+        assert lint_main([str(ok)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations in 1 file (1 suppressed)" in out
+
+    def test_cli_list_rules_covers_new_codes(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPL009", "RPL010", "RPL011", "RPL012", "RPL100"):
+            assert code in out
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+class TestChangedMode:
+    CLEAN = "t = pref.load(r0, r1)\n"
+    BAD = "t = A[r0:r1].sum()\n"
+
+    @staticmethod
+    def _git(cwd: Path, *args: str) -> str:
+        return subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            text=True,
+        ).stdout
+
+    def _make_repo(self, tmp_path: Path) -> tuple[Path, str]:
+        repo = tmp_path / "repo"
+        (repo / "jagged").mkdir(parents=True)
+        (repo / "jagged" / "good.py").write_text(self.CLEAN)
+        self._git(repo, "init", "-q")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+        branch = self._git(repo, "rev-parse", "--abbrev-ref", "HEAD").strip()
+        return repo, branch
+
+    def test_no_changes_exits_zero(self, tmp_path, monkeypatch, capsys):
+        repo, branch = self._make_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert lint_main(["--changed", "--base", branch, "jagged"]) == 0
+        assert "0 violations in 0 files (0 suppressed)" in capsys.readouterr().out
+
+    def test_worktree_modification_is_linted(self, tmp_path, monkeypatch, capsys):
+        repo, branch = self._make_repo(tmp_path)
+        (repo / "jagged" / "good.py").write_text(self.BAD)
+        monkeypatch.chdir(repo)
+        assert lint_main(["--changed", "--base", branch, "jagged"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "in 1 file " in out
+
+    def test_untracked_file_is_linted(self, tmp_path, monkeypatch, capsys):
+        repo, branch = self._make_repo(tmp_path)
+        (repo / "jagged" / "new.py").write_text(self.BAD)
+        monkeypatch.chdir(repo)
+        assert lint_main(["--changed", "--base", branch, "jagged"]) == 1
+        assert "new.py" in capsys.readouterr().out
+
+    def test_changed_skips_stale_check(self, tmp_path, monkeypatch, capsys):
+        repo, branch = self._make_repo(tmp_path)
+        (repo / "jagged" / "new.py").write_text(
+            "x = 1  # repro-lint: disable=RPL003 — not stale under --changed\n"
+        )
+        monkeypatch.chdir(repo)
+        assert lint_main(["--changed", "--base", branch, "jagged"]) == 0
+        capsys.readouterr()
+
+    def test_outside_git_falls_back_to_full_lint(self, tmp_path, monkeypatch, capsys):
+        pkg = tmp_path / "plain" / "jagged"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(self.BAD)
+        monkeypatch.chdir(tmp_path / "plain")
+        assert lint_main(["--changed", "--base", "main", "jagged"]) == 1
+        captured = capsys.readouterr()
+        assert "linting everything" in captured.err
