@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-fast lint-sarif ruff mypy test bench-json bench-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
+.PHONY: check lint lint-fast lint-sarif ruff mypy test bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -49,6 +49,15 @@ bench-json:
 # optimized paths return bit-identical results
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --profile tiny
+
+# kernel registry family: reference vs numpy (vs numba when the `perf`
+# extra is installed) for every registered kernel, asserting bit-identical
+# results per row; writes BENCH_kernels.json
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --kernels --min-speedup 1.5
+
+bench-kernels-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --kernels --profile tiny
 
 # parallel family: serial vs the repro.parallel layer at 1/2/4 workers,
 # asserting bit-identical rectangles; writes BENCH_parallel.json

@@ -26,7 +26,8 @@ multicore backend (stripe-parallel jagged phase 2, subtree-parallel
 hierarchical growth) is timed serially and under ``repro.parallel`` with
 1, 2 and 4 workers, the rectangles are asserted bit-identical at every
 worker count, and ``BENCH_parallel.json`` is written.  Identity is the
-gate; the recorded speedups are honest (on a 1-CPU box they are < 1 —
+gate; the recorded speedups are honest — on a 1-CPU box dispatch
+short-circuits to serial (rows record ``pooled: false`` and sit at ~1.0x;
 the JSON records ``cpu_count`` so readers can tell).  Run via ``make
 bench-parallel`` / ``make bench-parallel-smoke``.
 
@@ -43,6 +44,14 @@ gated per cell), and the hierarchical witness gate (``hier_witnesses``:
 persisted node-decision facts must drop the warm run's ``cut_calls``
 counter below cold while the rectangles stay bit-identical).  Run via
 ``make bench-sweep`` / ``make bench-sweep-smoke``.
+
+``--kernels`` runs the *kernel-registry* family instead: every kernel in
+:data:`repro.perf.kernels.KERNELS` is timed once per backend (``reference``
+vs ``numpy`` vs — when the ``[perf]`` extra is installed — ``numba``) on
+fixed seeded inputs, results are asserted bit-identical across backends,
+and ``BENCH_kernels.json`` is written.  ``--min-speedup`` here requires at
+least three kernels to reach the threshold on the numpy backend.  Run via
+``make bench-kernels`` / ``make bench-kernels-smoke``.
 
 ``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
 root and exits non-zero if any row anywhere records ``identical: false`` —
@@ -249,6 +258,205 @@ def _figure_benches(tiny: bool) -> list[Bench]:
 
 
 # ---------------------------------------------------------------------------
+# kernel-registry family (--kernels)
+
+
+@dataclass
+class KernelBench:
+    """One registry-kernel workload timed per backend (same call, same key)."""
+
+    name: str
+    call: Callable[[], Any]  # dispatches through the registry entry point
+    key: Callable[[Any], Any]
+    repeats: int = 5
+
+
+def _registry_benches(tiny: bool) -> list[KernelBench]:
+    """Fixed seeded workloads, one per registry kernel (plus the early-exit
+    shape of ``probe_batch`` — satellite coverage for the compacted active
+    set: candidates that die or finish in round one must cost one round)."""
+    from repro.perf import kernels as K
+
+    rng = np.random.default_rng(42)
+    n = 8_000 if tiny else 60_000
+    P = np.concatenate([[0], np.cumsum(rng.integers(1, 1_000, n))]).astype(np.int64)
+    total = int(P[-1])
+    m = 64
+    curve_Bs = np.linspace(total // (2 * m), 2 * total // m, 256).astype(np.int64)
+    # early-exit shape: half the candidates are infeasible at B=0 (stuck in
+    # round one), half cover the whole array (done in round one) — the
+    # lockstep loop must terminate after a single round either way
+    exit_Bs = np.concatenate(
+        [np.zeros(128, dtype=np.int64), np.full(128, total, dtype=np.int64)]
+    )
+    big_B = 8 * total // n
+    m_cuts = n // 8  # dense-cut regime: hi - lo <= 16 * m engages the jump table
+
+    # windowed scoring kernels: many windows of one memoized projection,
+    # the access pattern of a hierarchical recursion level
+    wins = sorted({tuple(sorted(rng.integers(0, n + 1, 2))) for _ in range(200)})
+    wins = [(int(a), int(b)) for a, b in wins if b - a >= 2]
+    orients = ((3, 5), (5, 3))
+
+    S = 8
+    n_multi = 1_000 if tiny else 4_000
+    M = np.cumsum(rng.integers(0, 100, (S, n_multi)), axis=1)
+    M = np.concatenate([np.zeros((S, 1), dtype=np.int64), M], axis=1).astype(np.int64)
+    B_multi = int(M[:, -1].max()) // 12
+
+    P_alloc = 96
+    m_alloc = 2_048
+    loads = rng.integers(1, 10_000, P_alloc).astype(np.int64)
+    lt = int(loads.sum())
+    q0 = -((-(m_alloc - P_alloc) * loads) // lt)
+    np.maximum(q0, 1, out=q0)
+
+    return [
+        KernelBench(
+            "probe_batch",
+            lambda: K.probe_batch(P, m, curve_Bs),
+            key=lambda out: out.tolist(),
+        ),
+        KernelBench(
+            "probe_batch_early_exit",
+            lambda: K.probe_batch(P, 512, exit_Bs),
+            key=lambda out: out.tolist(),
+        ),
+        KernelBench(
+            "min_parts",
+            lambda: K.min_parts_batch(P, big_B),
+            key=lambda parts: parts,
+        ),
+        KernelBench(
+            "probe_cuts",
+            lambda: K.probe_cuts(P, m_cuts, -(-total // m_cuts) + big_B),
+            key=lambda cuts: None if cuts is None else cuts.tolist(),
+        ),
+        KernelBench(
+            "weighted_cut",
+            lambda: [K.weighted_cut_win(P, a, b, orients) for a, b in wins],
+            key=lambda out: out,
+        ),
+        KernelBench(
+            "relaxed_split",
+            lambda: [K.relaxed_split_win(P, a, b, 64) for a, b in wins],
+            key=lambda out: out,
+        ),
+        KernelBench(
+            "alloc_tail",
+            lambda: [K.alloc_tail(loads, q0, m_alloc) for _ in range(40)],
+            key=lambda out: [q.tolist() for q in out],
+        ),
+        KernelBench(
+            "probe_multi",
+            lambda: [K.probe_multi(M, mm, B_multi) for mm in (4, 8, 16, 32)],
+            key=lambda out: out,
+        ),
+    ]
+
+
+def _time_backends(bench: KernelBench, backends: list[str]) -> dict[str, tuple[float, Any]]:
+    """Median-of-N per backend, all backends paired within each repeat.
+
+    Same estimator rationale as :func:`_time_pair`: rotating the backend
+    order inside every repeat cancels ordering bias, and medians resist the
+    scheduler-luck outliers a best-of floor rewards.
+    """
+    from repro.perf.config import use_perf_backend
+
+    times: dict[str, list[float]] = {b: [] for b in backends}
+    result: dict[str, Any] = {}
+    for rep in range(bench.repeats):
+        order = backends[rep % len(backends):] + backends[:rep % len(backends)]
+        for backend in order:
+            with use_perf_backend(backend):
+                t0 = time.perf_counter()
+                result[backend] = bench.call()
+                times[backend].append(time.perf_counter() - t0)
+    return {b: (statistics.median(times[b]), result[b]) for b in backends}
+
+
+def run_kernels(profile: str, out_path: Path, min_speedup: float | None) -> int:
+    """Per-backend kernel timings; cross-backend bit-identity is the gate."""
+    from repro.perf.config import perf_backend
+    from repro.perf.kernels import numba_available
+
+    tiny = profile == "tiny"
+    has_numba = numba_available()
+    backends = ["reference", "numpy"] + (["numba"] if has_numba else [])
+    print(f"# kernel registry: backends {backends} (default {perf_backend()!r})")
+    if has_numba:
+        # compile outside the timed region: @njit is lazy and the first call
+        # per kernel pays the jit; a warmup pass keeps rows comparable
+        from repro.perf.config import use_perf_backend
+
+        with use_perf_backend("numba"):
+            for bench in _registry_benches(True):
+                bench.call()
+
+    rows = []
+    failures = []
+    for bench in _registry_benches(tiny):
+        timed_results = _time_backends(bench, backends)
+        ref_s, ref = timed_results["reference"]
+        ref_key = bench.key(ref)
+        identical = all(bench.key(r) == ref_key for _, r in timed_results.values())
+        if not identical:
+            failures.append(bench.name)
+        numpy_s = timed_results["numpy"][0]
+        row: dict[str, Any] = {
+            "name": bench.name,
+            "reference_s": round(ref_s, 6),
+            "numpy_s": round(numpy_s, 6),
+            "numpy_speedup": round(ref_s / numpy_s, 3) if numpy_s > 0 else float("inf"),
+            "numba_s": None,
+            "numba_speedup": None,
+            "identical": identical,
+        }
+        msg = (
+            f"{bench.name:24s} ref {ref_s * 1e3:9.3f}ms  numpy {numpy_s * 1e3:9.3f}ms "
+            f"({row['numpy_speedup']:6.2f}x)"
+        )
+        if has_numba:
+            numba_s = timed_results["numba"][0]
+            row["numba_s"] = round(numba_s, 6)
+            row["numba_speedup"] = (
+                round(ref_s / numba_s, 3) if numba_s > 0 else float("inf")
+            )
+            msg += f"  numba {numba_s * 1e3:9.3f}ms ({row['numba_speedup']:6.2f}x)"
+        rows.append(row)
+        print(f"{msg}  {'ok' if identical else 'MISMATCH'}")
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --kernels",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "numba_available": has_numba,
+        "benches": rows,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print(f"FAIL: non-identical results: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if min_speedup is not None:
+        fast = [r["name"] for r in rows if r["numpy_speedup"] >= min_speedup]
+        if len(fast) < 3:
+            print(
+                f"FAIL: only {len(fast)} kernel(s) reach {min_speedup:.2f}x on the "
+                f"numpy backend ({', '.join(fast) or 'none'}); need 3",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"ok: {len(fast)} kernels at >= {min_speedup:.2f}x ({', '.join(fast)})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # parallel family
 
 #: worker counts the parallel family sweeps (1 == the serial short-circuit)
@@ -263,7 +471,11 @@ def _parallel_benches(tiny: bool) -> list[Bench]:
     A_hier = peak(n_hier, seed=0)
     m = 16 if tiny else 64
     speeds = np.array([1.0, 1.0, 2.0, 3.0, 1.5, 1.0, 2.0, 1.0])
-    repeats = 3
+    # best-of-15: the benches are ms-scale, and on a single-CPU box every
+    # row is the serial path timed twice — the measured dispatch overhead
+    # of the enabled-but-serial path is <1%, so anything further from 1.0
+    # is scheduler noise; deep best-of-N keeps the recorded ratios honest
+    repeats = 15
     benches = [
         _partition_bench(
             f"par_jagged/{method}/m={m}", "parallel", A_jag, m, method, repeats
@@ -286,31 +498,47 @@ def _parallel_benches(tiny: bool) -> list[Bench]:
         )
         for method in ("HIER-RB", "HIER-RELAXED")
     ]
+    # grid shipping: a whole (algorithm × m × seed) figure sweep through one
+    # pmap_batched call — the amortized-dispatch shape of fig03/fig04
+    from repro.experiments.figures import _avg_imbalance_grid
+
+    n_grid = 48 if tiny else 96
+    seeds = 3 if tiny else 5
+    grid = [
+        (f"HIER-RB-{v}", gm, {})
+        for gm in ((6, 9) if tiny else (9, 16, 25))
+        for v in ("LOAD", "DIST")
+    ]
+    benches.append(
+        Bench(
+            name="par_grid/hier_rb_sweep",
+            family="parallel",
+            setup=lambda: None,
+            call=lambda _: _avg_imbalance_grid(("peak", n_grid), seeds, grid),
+            key=lambda out: out,
+            repeats=repeats,
+        )
+    )
     return benches
 
 
-def _time_serial(bench: Bench) -> tuple[float, Any]:
-    """Best-of-N wall-clock with the parallel layer off (the reference)."""
-    best = float("inf")
-    result = None
-    for _ in range(bench.repeats):
-        state = bench.setup()
-        t0 = time.perf_counter()
-        result = bench.call(state)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
 def run_parallel(profile: str, out_path: Path) -> int:
-    """Time the parallel family at each worker count; identity is the gate."""
-    from repro.parallel import shutdown_pool, use_parallel
+    """Time the parallel family at each worker count; identity is the gate.
+
+    Worker rows record ``pooled``: whether dispatch actually engaged the
+    pool.  On a single-CPU machine the layer short-circuits every
+    configuration to serial (see :func:`repro.parallel.config.effective_workers`),
+    so every row is honest serial time with ``pooled: false`` — the recorded
+    speedups sit at ~1.0 instead of the round-trip slowdowns they used to.
+    """
+    from repro.parallel import effective_workers, shutdown_pool, use_parallel
 
     tiny = profile == "tiny"
     benches = _parallel_benches(tiny)
     cpu_count = os.cpu_count() or 1
     print(f"# parallel family: workers {PARALLEL_WORKERS}, cpu_count={cpu_count}")
     if cpu_count < 2:
-        print("# NOTE: single-CPU machine — speedups < 1 expected; identity still gates")
+        print("# NOTE: single-CPU machine — dispatch short-circuits to serial (pooled=false)")
 
     prev_min_cells = os.environ.get("REPRO_PARALLEL_MIN_CELLS")
     os.environ["REPRO_PARALLEL_MIN_CELLS"] = "0"  # always dispatch: we gate identity
@@ -318,24 +546,58 @@ def run_parallel(profile: str, out_path: Path) -> int:
     failures = []
     try:
         for bench in benches:
-            serial_s, ref = _time_serial(bench)
-            ref_key = bench.key(ref)
             per_workers: dict[str, dict[str, Any]] = {}
             identical = True
+            serial_s = float("inf")
+            ref_key = None
+            # calibrate an inner-call loop so each timed sample covers
+            # ~10 ms: the parallel benches are sub-ms to ms scale, where
+            # single-core scheduler noise alone swings a one-call sample
+            # by ±10% and no amount of best-of-N settles the ratio
+            state = bench.setup()
+            t0 = time.perf_counter()
+            ref = bench.call(state)
+            once = time.perf_counter() - t0
+            inner = max(1, min(20, int(0.010 / max(once, 1e-9))))
             for w in PARALLEL_WORKERS:
-                with use_parallel(True, workers=w):
-                    best = float("inf")
-                    result = None
-                    for _ in range(bench.repeats):
-                        state = bench.setup()
-                        t0 = time.perf_counter()
-                        result = bench.call(state)
-                        best = min(best, time.perf_counter() - t0)
+                # interleave serial and worker samples one-for-one and
+                # alternate which leg runs first: CPU availability drifts
+                # over seconds, and the second leg of a pair sees slightly
+                # worse cache/frequency state — either effect turns into a
+                # systematic skew in rows whose pooled=false path is the
+                # very same code.  The pool (when one spawns) is
+                # persistent, so its one-time cost lands in a single
+                # worker sample and drops out of the min.
+                s_w = float("inf")
+                best = float("inf")
+                result = None
+                pooled = False
+                for rep in range(bench.repeats):
+                    legs = ("serial", "worker") if rep % 2 == 0 else ("worker", "serial")
+                    for leg in legs:
+                        if leg == "serial":
+                            state = bench.setup()
+                            t0 = time.perf_counter()
+                            for _ in range(inner):
+                                ref = bench.call(state)
+                            s_w = min(s_w, (time.perf_counter() - t0) / inner)
+                        else:
+                            with use_parallel(True, workers=w):
+                                pooled = effective_workers() > 0
+                                state = bench.setup()
+                                t0 = time.perf_counter()
+                                for _ in range(inner):
+                                    result = bench.call(state)
+                                best = min(best, (time.perf_counter() - t0) / inner)
+                serial_s = min(serial_s, s_w)
+                if ref_key is None:
+                    ref_key = bench.key(ref)
                 same = bench.key(result) == ref_key
                 identical = identical and same
                 per_workers[str(w)] = {
                     "time_s": round(best, 6),
-                    "speedup": round(serial_s / best, 3) if best > 0 else float("inf"),
+                    "speedup": round(s_w / best, 3) if best > 0 else float("inf"),
+                    "pooled": pooled,
                     "identical": same,
                 }
             if not identical:
@@ -747,6 +1009,13 @@ def main(argv: list[str] | None = None) -> int:
         "per-m cold calls, asserting bit-identical rectangles per cell",
     )
     ap.add_argument(
+        "--kernels",
+        action="store_true",
+        help="run the kernel-registry family instead: every repro.perf.kernels "
+        "kernel timed per backend (reference/numpy/numba), asserting "
+        "bit-identical results across backends",
+    )
+    ap.add_argument(
         "--check-identity",
         action="store_true",
         help="scan committed BENCH_*.json baselines and fail on any "
@@ -755,6 +1024,9 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     if args.check_identity:
         return check_identity()
+    if args.kernels:
+        out = args.out or REPO_ROOT / "BENCH_kernels.json"
+        return run_kernels(args.profile, out, args.min_speedup)
     if args.parallel:
         out = args.out or REPO_ROOT / "BENCH_parallel.json"
         return run_parallel(args.profile, out)

@@ -39,6 +39,11 @@ ENV_VARS: dict[str, EnvVar] = {
         description="optimized-kernel layer switch; 0/false/off/no disables",
         consumer="repro.perf.config",
     ),
+    "REPRO_PERF_BACKEND": EnvVar(
+        default="numpy",
+        description="kernel-registry backend: reference, numpy or numba (degrades to numpy when the [perf] extra is absent)",
+        consumer="repro.perf.config",
+    ),
     "REPRO_PERF_CACHE_MB": EnvVar(
         default="64",
         description="per-prefix projection-cache budget in MiB",

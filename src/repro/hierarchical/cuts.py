@@ -10,6 +10,12 @@ by construction (average loads stand in for recursive values, §3.3), near
 ties are handled explicitly below, and the final partition loads stay exact
 int64 — so the float scoring is a documented RPL003 exemption rather than a
 violation (see ``docs/lint.md``).
+
+The windowed fast paths (``best_weighted_cut_win`` /
+``best_relaxed_split_win``) are thin dispatchers into the kernel registry
+(:mod:`repro.perf.kernels`, selected by ``REPRO_PERF_BACKEND``); the
+un-windowed functions below remain the independent reference twins the
+equality suites compare against.
 """
 
 from __future__ import annotations
@@ -21,6 +27,13 @@ import numpy as np
 from ..perf.config import perf_enabled
 from ..perf.counters import _STACK as _OPS
 from ..perf.counters import bump
+from ..perf.kernels import (
+    SCALAR_MAX_M as _SCALAR_MAX_M,
+)
+from ..perf.kernels import (
+    relaxed_split_scalar as _relaxed_split_scalar,
+)
+from ..perf.kernels import relaxed_split_win, weighted_cut_win
 
 __all__ = [
     "best_weighted_cut",
@@ -30,22 +43,7 @@ __all__ = [
     "best_relaxed_split_win",
 ]
 
-#: processor count below which the scalar relaxed-split path beats the
-#: vectorized one (small-array numpy call overhead dominates under ~32)
-_SCALAR_MAX_M = 32
-
-#: memoized ``np.arange(1, m)`` split indices — every recursion node with the
-#: same processor count re-needs the identical tiny array
-_J_CACHE: dict = {}
-
-
-def _split_indices(m: int) -> np.ndarray:
-    j = _J_CACHE.get(m)
-    if j is None:
-        j = np.arange(1, m, dtype=np.int64)
-        j.flags.writeable = False
-        _J_CACHE[m] = j
-    return j
+_I64_MAX = 2**63 - 1
 
 
 def best_weighted_cut(
@@ -134,35 +132,12 @@ def best_weighted_cut_win(
     orientation attaining the minimum wins, matching the sequential
     first-occurrence rule of the chooser loop.  Returns
     ``(cut_rel, value · w1·w2, w1, w2)`` or None.
+
+    Dispatches to the ``weighted_cut`` registry kernel
+    (:mod:`repro.perf.kernels`, ``REPRO_PERF_BACKEND``); every backend is
+    exact-int and bit-identical to rebasing + :func:`best_weighted_cut_num`.
     """
-    L = j1 - j0
-    if L < 2:
-        return None
-    if _OPS:
-        bump("cut_calls", len(orientations))
-    base = int(p[j0])
-    total = int(p[j1]) - base
-    view = p[j0 : j1 + 1]  # repro-lint: disable=RPL002 — prefix window, not a load slice
-    best: tuple[int, int, int, int] | None = None
-    for w1, w2 in orientations:
-        # integer bp ≤ t  ⇔  p ≤ base + t: the shifted floor target is exact
-        target = base + (total * w1) // (w1 + w2)
-        c = int(view.searchsorted(target, side="right")) - 1
-        found: tuple[int, int] | None = None
-        for cand in (c, c + 1):
-            if cand < 1 or cand > L - 1:
-                continue
-            l1 = int(view[cand]) - base
-            v = max(l1 * w2, (total - l1) * w1)
-            if found is None or v < found[1]:
-                found = (cand, v)
-        if found is None:
-            cand = min(max(c, 1), L - 1)
-            l1 = int(view[cand]) - base
-            found = (cand, max(l1 * w2, (total - l1) * w1))
-        if best is None or found[1] < best[1]:
-            best = (found[0], found[1], w1, w2)
-    return best
+    return weighted_cut_win(p, j0, j1, orientations)
 
 
 def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
@@ -181,7 +156,12 @@ def best_relaxed_split(bp: np.ndarray, m: int) -> tuple[int, int, float] | None:
         bump("cut_calls")
     total = int(bp[-1])
     j = np.arange(1, m, dtype=np.int64)
-    targets = (total * j) // m  # exact integer balance targets
+    if total > 0 and m > 2 and total > _I64_MAX // (m - 1):
+        # the intermediate product total·j would overflow int64 (each target
+        # itself fits — it is at most ``total``, a prefix value)
+        targets = np.array([(total * jv) // m for jv in range(1, m)], dtype=np.int64)
+    else:
+        targets = (total * j) // m  # exact integer balance targets
     if perf_enabled() and m <= _SCALAR_MAX_M:
         lo = bp.searchsorted(targets, side="right") - 1
         return _relaxed_split_scalar(bp, m, total, lo.tolist(), L)
@@ -215,97 +195,12 @@ def best_relaxed_split_win(
     ``base`` exactly, and the float scores are computed from the *same*
     integers (``l1 = view[cut] - base``), so the chosen ``(cut, j, value)``
     is bit-identical to rebasing first — without the per-node band copy.
+
+    Dispatches to the ``relaxed_split`` registry kernel
+    (:mod:`repro.perf.kernels`, ``REPRO_PERF_BACKEND``): an m == 2 scalar
+    fast path, a scalar path below ``SCALAR_MAX_M`` splits and the
+    vectorized candidate sweep above it — all scoring the same integers
+    with the same float arithmetic, so the chosen ``(cut, j, value)`` is
+    backend-independent.
     """
-    L = j1 - j0
-    if L < 2 or m < 2:
-        return None
-    if _OPS:
-        bump("cut_calls")
-    base = int(p[j0])
-    total = int(p[j1]) - base
-    view = p[j0 : j1 + 1]  # repro-lint: disable=RPL002 — prefix window, not a load slice
-    if m == 2:
-        # a bipartition node — j = 1 is the only split, and roughly half the
-        # nodes of any recursion tree look like this: pure scalar, no numpy
-        # temporaries.  Same candidate order and float scores as the
-        # vectorized path (j/1 division and (m-j) = 1 division are exact).
-        c = int(view.searchsorted(base + total // 2, side="right")) - 1
-        ca = 1 if c < 1 else (L - 1 if c > L - 1 else c)
-        cb = c + 1
-        cb = 1 if cb < 1 else (L - 1 if cb > L - 1 else cb)
-        la = float(int(view[ca]) - base)  # repro-lint: disable=RPL003 — relaxed score
-        lb = float(int(view[cb]) - base)  # repro-lint: disable=RPL003
-        va = la if la > total - la else total - la
-        vb = lb if lb > total - lb else total - lb
-        v = va if va < vb else vb
-        # both candidates tie on processor balance, so argmax keeps the first
-        # candidate within the near-tie threshold
-        if va <= v * (1.0 + 1e-3) + 1e-9:
-            return (ca, 1, va)
-        return (cb, 1, vb)
-    j = _split_indices(m)
-    targets = base + (total * j) // m  # exact shifted integer balance targets
-    lo = view.searchsorted(targets, side="right") - 1
-    if m <= _SCALAR_MAX_M:
-        return _relaxed_split_scalar(view, m, total, lo.tolist(), L, base=base)
-    cuts = np.concatenate([np.clip(lo, 1, L - 1), np.clip(lo + 1, 1, L - 1)])
-    jj = np.concatenate([j, j])
-    # identical integers → identical floats → identical scores (see
-    # best_relaxed_split for the documented RPL003 exemption)
-    l1 = (view[cuts] - base).astype(np.float64)  # repro-lint: disable=RPL003
-    val = np.maximum(l1 / jj, (total - l1) / (m - jj))  # repro-lint: disable=RPL003
-    v = float(val.min())  # repro-lint: disable=RPL003 — reporting boundary
-    near = val <= v * (1.0 + 1e-3) + 1e-9
-    bal = np.where(near, np.minimum(jj, m - jj), -1)
-    k = int(np.argmax(bal))
-    return (int(cuts[k]), int(jj[k]), float(val[k]))  # repro-lint: disable=RPL003
-
-
-def _relaxed_split_scalar(
-    bp: np.ndarray, m: int, total: int, lo: list, L: int, *, base: int = 0
-) -> tuple[int, int, float]:
-    """Scalar twin of the vectorized relaxed split for small ``m``.
-
-    Below ~32 splits the per-call overhead of clip/concatenate/where
-    dominates the vectorized path; most nodes of a recursion tree are deep
-    and small, so this is the common case.  Candidates are enumerated in
-    the exact array order of the vectorized path (all ``lo`` cuts, then all
-    ``lo + 1`` cuts) with the same float arithmetic and the same
-    first-occurrence argmax tie-breaking, so the chosen split is
-    bit-identical.
-    """
-    n = m - 1
-    vals: list = []
-    v = None
-    for off in (0, 1):
-        for idx in range(n):
-            jv = idx + 1
-            cut = lo[idx] + off
-            if cut < 1:
-                cut = 1
-            elif cut > L - 1:
-                cut = L - 1
-            l1 = float(int(bp[cut]) - base)  # repro-lint: disable=RPL003 — relaxed score
-            a = l1 / jv  # repro-lint: disable=RPL003
-            b = (total - l1) / (m - jv)  # repro-lint: disable=RPL003
-            if b > a:
-                a = b
-            vals.append(a)
-            if v is None or a < v:
-                v = a
-    thr = v * (1.0 + 1e-3) + 1e-9
-    best_bal = -1
-    best_i = 0
-    for i, val in enumerate(vals):
-        if val <= thr:
-            jv = i % n + 1
-            bal = jv if jv <= m - jv else m - jv
-            if bal > best_bal:
-                best_bal, best_i = bal, i
-    jv = best_i % n + 1
-    cut = lo[best_i % n] + (1 if best_i >= n else 0)
-    if cut < 1:
-        cut = 1
-    elif cut > L - 1:
-        cut = L - 1
-    return (cut, jv, vals[best_i])
+    return relaxed_split_win(p, j0, j1, m)

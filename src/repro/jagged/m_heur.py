@@ -30,72 +30,12 @@ from ..core.partition import Partition
 from ..core.prefix import PrefixSum2D
 from ..oned.api import ONED_METHODS
 from ..parallel.backends import parallel_stripe_cuts
+from ..perf import kernels as _kernels
 from ..perf.config import perf_enabled
 from ..sweep.state import current as _sweep_current
 from .common import build_jagged_partition, default_stripe_count, oriented
 
 __all__ = ["jag_m_heur", "allocate_processors"]
-
-
-class _RatioKey:
-    """Heap key ordering stripes by descending ``load/q``, exact integers.
-
-    Induces the same total order as the reference path's
-    ``(Fraction(-load, q), s)`` tuples: ratios compare by cross-
-    multiplication (exact in unbounded ints, RPL003 discipline), ties fall
-    back to the stripe index.  Skipping ``Fraction``'s gcd normalization on
-    every heap push is the whole point.
-    """
-
-    __slots__ = ("load", "q", "s")
-
-    def __init__(self, load: int, q: int, s: int):
-        self.load = load
-        self.q = q
-        self.s = s
-
-    def __lt__(self, other: "_RatioKey") -> bool:
-        # load/q > other.load/other.q  (descending ratio; q > 0 always)
-        a = self.load * other.q
-        b = other.load * self.q
-        if a != b:
-            return a > b
-        return self.s < other.s
-
-
-def _allocate_tail_fast(loads: np.ndarray, q: np.ndarray, m: int) -> np.ndarray:
-    """Perf twin of the overflow-shave + leftover-assign tail.
-
-    Same decisions as the ``Fraction``-keyed reference loops in
-    :func:`allocate_processors` (exact cross-multiplied comparisons, first
-    minimal index wins), on plain Python ints — int64 scalar arithmetic and
-    ``Fraction`` construction both disappear from the per-call cost.
-    """
-    P = len(loads)
-    ql = [int(x) for x in q]
-    ll = [int(x) for x in loads]
-    s_total = sum(ql)
-    while s_total > m:
-        # argmin of load/q over stripes with q > 1; strict < keeps the
-        # first minimal stripe, matching min() over the reference generator
-        bs = -1
-        bl = bq = 0
-        for s in range(P):
-            if ql[s] > 1:
-                load, qs = ll[s], ql[s]
-                if bs < 0 or load * bq < bl * qs:
-                    bs, bl, bq = s, load, qs
-        ql[bs] -= 1
-        s_total -= 1
-    remaining = m - s_total
-    if remaining > 0:
-        heap = [_RatioKey(ll[s], ql[s], s) for s in range(P)]
-        heapq.heapify(heap)
-        for _ in range(remaining):
-            k = heapq.heappop(heap)
-            ql[k.s] += 1
-            heapq.heappush(heap, _RatioKey(k.load, ql[k.s], k.s))
-    return np.array(ql, dtype=np.int64)
 
 
 def allocate_processors(loads: np.ndarray, m: int) -> np.ndarray:
@@ -124,10 +64,11 @@ def allocate_processors(loads: np.ndarray, m: int) -> np.ndarray:
     # per-processor stripes, then distribute what is left.  Tie-breaking
     # compares exact Fractions: float ratios can reorder stripes once loads
     # outgrow 2**53 (RPL003 discipline; P ≈ √m keeps the loops cheap).
-    # The perf layer runs the same decisions on cross-multiplied ints
-    # (bit-identical — asserted in tests/test_perf_equality.py).
+    # The perf layer runs the same decisions on cross-multiplied ints via
+    # the ``alloc_tail`` registry kernel (bit-identical — asserted in
+    # tests/test_perf_equality.py and tests/test_kernels_equality.py).
     if perf_enabled():
-        return _allocate_tail_fast(loads, q, m)
+        return _kernels.alloc_tail(loads, q, m)
     while int(q.sum()) > m:
         s = min(
             (s for s in range(P) if q[s] > 1),

@@ -32,7 +32,7 @@ from ..core.partition import Partition
 from ..core.prefix import PrefixSum2D
 from ..oned.bisect import bisect_bottleneck
 from ..oned.probe import min_parts, probe_cuts
-from ..perf.batch import min_parts_batch
+from ..perf.kernels import min_parts_batch
 from ..perf.config import perf_enabled
 from ..sweep.state import current as _sweep_current
 from .common import build_jagged_partition, oriented

@@ -49,6 +49,9 @@ HOT_PACKAGES = frozenset(
         "spiral",
         "volume",
         "dynamic",
+        # "perf" covers the kernel registry (repro.perf.kernels) and its
+        # compiled twins — the hottest loops in the tree (pinned by
+        # tests/test_kernels_equality.py)
         "perf",
         "parallel",
     }

@@ -653,7 +653,12 @@ def check_budgets(
     * JAG-M-HEUR (§3.2.1): total probe steps within ``32 * (n + m log n)``;
     * HIER-RB (§3.3): exactly ``2(m - 1)`` cut searches for power-of-two
       ``m``, and within ``[m - 1, 4(m - 1)]`` for odd ``m``;
-    * HIER-RELAXED (§3.3): cut searches within ``[m - 1, 2(m - 1)]``.
+    * HIER-RELAXED (§3.3): cut searches within ``[m - 1, 2(m - 1)]``;
+    * kernel registry (``repro.perf.kernels``): ``probe_batch`` runs one
+      batch call with at most ``m`` lockstep rounds — and exactly one round
+      when every candidate resolves immediately (the early-exit contract);
+      ``min_parts`` walks exactly ``parts`` greedy steps after one batched
+      jump-table search.
 
     The instances are seeded, the counters deterministic, and both perf
     modes are measured where the budget must hold in both — a budget
@@ -742,6 +747,48 @@ def check_budgets(
             bad(
                 f"HIER-RELAXED m=9 (perf={perf}) made {ops['cut_calls']} cut "
                 f"searches, outside the [m-1, 2(m-1)] = [8, 16] budget (§3.3)"
+            )
+
+    # kernel registry (repro.perf.kernels, numpy backend pinned — the round
+    # structure below is the *vectorized* contract; other backends trade it
+    # for per-candidate walks): the batched probe advances every candidate
+    # through one chained searchsorted per lockstep round, so a call costs
+    # one probe_batch_calls bump and at most m searchsorted rounds
+    from ..perf.config import use_perf_backend
+    from ..perf.kernels import min_parts_batch, probe_batch
+
+    P = prefix_of(np.random.default_rng(29).integers(1, 100, 400))
+    total = int(P[-1])
+    m = 24
+    Bs = np.linspace(total // (2 * m), 2 * total // m, 64).astype(np.int64)
+    with use_perf_backend("numpy"):
+        with op_counters() as ops:
+            probe_batch(P, m, Bs)
+        if ops["probe_batch_calls"] != 1 or ops["searchsorted_calls"] > m:
+            bad(
+                f"probe_batch(m={m}, K=64) made {ops['probe_batch_calls']} batch "
+                f"call(s) and {ops['searchsorted_calls']} lockstep rounds; the "
+                f"budget is 1 call of at most m={m} rounds"
+            )
+        # early-exit contract: candidates that die or finish in round one must
+        # cost exactly one round, however large m is (every cell is positive,
+        # so B=0 kills every candidate immediately)
+        with op_counters() as ops:
+            probe_batch(P, 512, np.zeros(64, dtype=np.int64))
+        if ops["searchsorted_calls"] > 1:
+            bad(
+                f"probe_batch early exit ran {ops['searchsorted_calls']} lockstep "
+                f"rounds on all-stuck candidates; must stop after 1"
+            )
+        # min_parts: one batched jump-table search, then exactly `parts` steps
+        B = 8 * total // 400
+        with op_counters() as ops:
+            parts = min_parts_batch(P, B)
+        if ops["searchsorted_calls"] != 1 or ops["probe_steps"] != parts:
+            bad(
+                f"min_parts_batch walked {ops['probe_steps']} steps over "
+                f"{ops['searchsorted_calls']} searchsorted call(s) for {parts} "
+                f"parts; the budget is exactly one batched search and parts steps"
             )
     return out
 

@@ -17,7 +17,7 @@ Perf notes (measured; see ``docs/performance.md``): for large prefixes the
 O(n) list conversion in front of the scalar probe loop dominates the whole
 O(probes · m · log n) search, so with the perf layer enabled the bisection
 probes the ndarray directly (:func:`_probe_nd`).  Batched *grid* narrowing
-via :func:`~repro.perf.batch.probe_batch` was measured here too and lost in
+via :func:`~repro.perf.kernels.probe_batch` was measured here too and lost in
 every regime — K batched candidates pay K full greedy walks but adaptive
 bisection extracts only log2(K) bits from them.  The batch kernel wins when
 many candidates are genuinely independent, which is what
@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..perf.batch import probe_batch
+from ..perf.kernels import probe_batch
 from ..perf.config import perf_enabled
 from ..perf.counters import _STACK as _OPS
 from ..perf.counters import bump
@@ -161,7 +161,7 @@ def feasible_bottlenecks(P: np.ndarray, m: int, Bs) -> np.ndarray:
 
     Returns a boolean array with ``out[i] == probe(P, m, Bs[i])``.  The
     candidates are independent, which is exactly the shape the vectorized
-    :func:`~repro.perf.batch.probe_batch` kernel wins at: all candidates
+    :func:`~repro.perf.kernels.probe_batch` kernel wins at: all candidates
     advance in lockstep through one chained ``searchsorted`` per greedy
     round instead of ``len(Bs)`` separate scalar walks.  Used for
     feasibility curves and the perf-regression harness; the reference path

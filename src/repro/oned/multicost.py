@@ -14,6 +14,13 @@ reachable boundary at bottleneck ``B`` is ``min_s`` of the per-stripe
 furthest boundaries, each found with one binary search (on Python lists —
 see :mod:`repro.oned.probe` for why).  Loads are integers, so exact integer
 bisection over ``B`` yields the optimum.
+
+With the perf layer enabled, :func:`probe_multi` dispatches to the
+``probe_multi`` kernel (:mod:`repro.perf.kernels`): per-stripe jump tables
+folded with a running min in the dense-cut regime, a compiled twin under
+``REPRO_PERF_BACKEND=numba`` — bit-identical to the scalar greedy below,
+which stays as the reference twin.  :func:`multi_bottleneck` then probes
+the stacked int64 matrix directly instead of per-stripe Python lists.
 """
 
 from __future__ import annotations
@@ -21,6 +28,9 @@ from __future__ import annotations
 from bisect import bisect_right
 
 import numpy as np
+
+from ..perf import kernels as _kernels
+from ..perf.config import perf_enabled
 
 __all__ = ["probe_multi", "multi_bottleneck", "partition_multi", "multi_cuts"]
 
@@ -45,6 +55,8 @@ def _reach(rows: list[list[int]], n: int, i: int, B: int) -> int:
 
 def probe_multi(M, m: int, B: int) -> bool:
     """Can ``[0, n)`` be cut into ``<= m`` intervals of striped cost ``<= B``?"""
+    if perf_enabled():
+        return _kernels.probe_multi(M, m, B)
     rows = _rows(M)
     n = len(rows[0]) - 1 if rows else 0
     if B < 0:
@@ -98,17 +110,19 @@ def multi_bottleneck(M, m: int, *, ub: int | None = None) -> int:
     max_step = int(cell.max(axis=0).max()) if cell.size else 0
     heaviest = int(M[:, -1].max())
     lb = max(max_step, -(-heaviest // m))
-    rows = _rows(M)
+    # the kernel path probes the stacked int64 matrix in place (no per-call
+    # list conversion); the reference path converts to lists once up front
+    MM = M if perf_enabled() else _rows(M)
     # The single-array DirectCut bound does not transfer to striped costs
     # (different intervals may be bottlenecked by different stripes), so
     # bracket the optimum by doubling from the heaviest-stripe bound (or
     # the caller's hint when given).
     ub = max(lb, heaviest // m + max_step) if ub is None else max(lb, int(ub))
-    while not probe_multi(rows, m, ub):
+    while not probe_multi(MM, m, ub):
         ub = max(ub * 2, ub + 1)
     while lb < ub:
         mid = (lb + ub) // 2
-        if probe_multi(rows, m, mid):
+        if probe_multi(MM, m, mid):
             ub = mid
         else:
             lb = mid + 1

@@ -24,6 +24,8 @@ from bisect import bisect_right
 
 import numpy as np
 
+from ..perf import kernels as _kernels
+from ..perf.config import perf_enabled
 from ..perf.counters import _STACK as _OPS
 from ..perf.counters import bump
 
@@ -92,7 +94,14 @@ def probe_cuts(P, m: int, B: int, lo: int = 0, hi: int | None = None) -> np.ndar
     Returns an int array of length ``m + 1`` with ``cuts[0] == lo`` and
     ``cuts[m] == hi``; trailing intervals may be empty when fewer than ``m``
     intervals suffice.
+
+    With the perf layer enabled this dispatches to the ``probe_cuts`` kernel
+    (:mod:`repro.perf.kernels`): a jump-table walk in the dense-cut regime,
+    backend-selectable via ``REPRO_PERF_BACKEND``, bit-identical to the
+    scalar greedy below — which stays as the reference twin.
     """
+    if perf_enabled():
+        return _kernels.probe_cuts(P, m, B, lo, hi)
     Pl = as_boundary_list(P)
     if hi is None:
         hi = len(Pl) - 1

@@ -15,7 +15,9 @@ a persistent spawn-safe process pool:
   guaranteed unlink on pool shutdown or crash.
 * :mod:`repro.parallel.pool` — the lazily-created persistent worker pool
   plus :func:`~repro.parallel.pool.pmap`, an order-preserving map with a
-  serial fallback (what the experiment harness schedules cells through).
+  serial fallback, and :func:`~repro.parallel.pool.pmap_batched`, its
+  chunk-shipping variant that amortizes the per-task round trip (what the
+  experiment harness schedules whole sweep grids through).
 * :mod:`repro.parallel.backends` / :mod:`repro.parallel.worker` — the
   per-algorithm dispatch hooks (stripe-parallel jagged phase 2,
   subtree-parallel hierarchical growth) and their worker-side twins.
@@ -29,7 +31,7 @@ from .config import (
     use_parallel,
     worker_count,
 )
-from .pool import get_pool, pmap, pool_workers, shutdown_pool
+from .pool import get_pool, pmap, pmap_batched, pool_workers, shutdown_pool
 from .shm import PrefixHandle, attach_prefix, export_prefix, live_segments, release_all
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "min_parallel_cells",
     "parallel_enabled",
     "pmap",
+    "pmap_batched",
     "pool_workers",
     "release_all",
     "set_parallel_enabled",

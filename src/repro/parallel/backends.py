@@ -18,9 +18,9 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..core.prefix import PrefixSum2D
-from ..perf.counters import OpCounters, bump, counting
+from ..perf.counters import counting
 from .config import min_parallel_cells
-from .pool import get_pool, pool_workers
+from .pool import _merge_ops, get_pool, pool_workers
 from .shm import export_prefix
 from .worker import hetero_stripe_chunk, hier_subtree, split_jobs, stripe_chunk
 
@@ -29,13 +29,6 @@ __all__ = [
     "parallel_hetero_stripe_cuts",
     "parallel_grow_tree",
 ]
-
-
-def _merge_ops(ops: OpCounters | None) -> None:
-    """Fold a worker's op-counter snapshot into the parent's open contexts."""
-    if ops:
-        for name, n in ops.items():
-            bump(name, n)
 
 
 def _engaged_pool(pref: PrefixSum2D, units: int):

@@ -22,6 +22,10 @@ Environment knobs:
 ``REPRO_PARALLEL_WORKERS``
     Worker-process count (default: ``os.cpu_count()``).  A pool of one
     worker is never spawned — dispatch short-circuits to the serial path.
+    On a single-CPU machine dispatch short-circuits the same way whatever
+    the configured count: pool round trips cannot buy parallelism there
+    (``force=True`` on :func:`use_parallel` overrides, for tests that
+    exercise the pool machinery itself).
 ``REPRO_PARALLEL_MIN_CELLS``
     Work-size threshold: instances with fewer load-matrix cells than this
     stay serial (default ``131072`` = 362², see the measured crossovers in
@@ -54,6 +58,18 @@ _ENABLED: bool = _env_truthy(os.environ.get("REPRO_PARALLEL", "0"))
 #: runtime override of the worker count; ``None`` defers to the environment
 _WORKERS: int | None = None
 
+#: when set, the single-CPU serial short-circuit is bypassed — the pool is
+#: spawned even where it cannot win (bit-identity tests need the machinery)
+_FORCE_POOL: bool = False
+
+#: cached "this machine has >1 CPU" bit.  ``os.cpu_count()`` is a ~2 µs
+#: syscall-backed call and :func:`effective_workers` sits on every dispatch
+#: gate, so the check is sampled here at import and re-sampled on every
+#: :func:`set_parallel_enabled` — which is how the pin tests that
+#: monkeypatch ``os.cpu_count`` (always before entering ``use_parallel``)
+#: still see the short-circuit react
+_MULTI_CPU: bool = (os.cpu_count() or 1) >= 2
+
 #: default work-size threshold (load-matrix cells) below which stripe and
 #: subtree dispatch stays serial; chosen from the measured pool round-trip
 #: cost (~1 ms/task) against per-stripe 1D solve times — see
@@ -66,29 +82,39 @@ def parallel_enabled() -> bool:
     return _ENABLED
 
 
-def set_parallel_enabled(on: bool, *, workers: int | None = None) -> tuple[bool, int | None]:
-    """Set the global switch (and optionally the worker count).
+def set_parallel_enabled(
+    on: bool, *, workers: int | None = None, force: bool | None = None
+) -> tuple[bool, int | None, bool]:
+    """Set the global switch (and optionally the worker count / force flag).
 
-    Returns the previous ``(enabled, workers_override)`` pair so callers can
-    restore it; prefer the scoped :func:`use_parallel`.
+    ``force=True`` bypasses the single-CPU serial short-circuit of
+    :func:`effective_workers`.  Returns the previous
+    ``(enabled, workers_override, force)`` triple so callers can restore it;
+    prefer the scoped :func:`use_parallel`.
     """
-    global _ENABLED, _WORKERS
-    prev = (_ENABLED, _WORKERS)
+    global _ENABLED, _WORKERS, _FORCE_POOL, _MULTI_CPU
+    prev = (_ENABLED, _WORKERS, _FORCE_POOL)
     _ENABLED = bool(on)
     if workers is not None:
         _WORKERS = max(1, int(workers))
+    if force is not None:
+        _FORCE_POOL = bool(force)
+    _MULTI_CPU = (os.cpu_count() or 1) >= 2
     return prev
 
 
 @contextmanager
-def use_parallel(on: bool, *, workers: int | None = None) -> Iterator[None]:
+def use_parallel(
+    on: bool, *, workers: int | None = None, force: bool = False
+) -> Iterator[None]:
     """Context manager scoping the switch (used by tests, benches, the CLI)."""
-    global _ENABLED, _WORKERS
-    prev = set_parallel_enabled(on, workers=workers)
+    global _ENABLED, _WORKERS, _FORCE_POOL, _MULTI_CPU
+    prev = set_parallel_enabled(on, workers=workers, force=force)
     try:
         yield
     finally:
-        _ENABLED, _WORKERS = prev
+        _ENABLED, _WORKERS, _FORCE_POOL = prev
+        _MULTI_CPU = (os.cpu_count() or 1) >= 2
 
 
 def worker_count() -> int:
@@ -121,9 +147,15 @@ def effective_workers() -> int:
     A configured pool of one worker reports 0 as well — running every task
     through a single worker process would cost the round trips and buy
     nothing, so one-worker configurations *are* the serial path (enforced by
-    ``tests/test_parallel_equality.py``).
+    ``tests/test_parallel_equality.py``).  The same reasoning short-circuits
+    any configuration on a single-CPU machine: worker processes would
+    time-slice one core while paying spawn and pickle round trips, so
+    dispatch stays serial there unless ``force=True`` was requested (tests
+    that exercise the pool machinery itself).
     """
     if not _ENABLED:
+        return 0
+    if not _FORCE_POOL and not _MULTI_CPU:
         return 0
     w = worker_count()
     return w if w >= 2 else 0

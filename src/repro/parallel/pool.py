@@ -27,13 +27,15 @@ import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence, TypeVar
 
+from ..perf.counters import OpCounters, bump, counting, op_counters
 from . import shm
 from .config import effective_workers
 
-__all__ = ["get_pool", "shutdown_pool", "pool_workers", "pmap"]
+__all__ = ["get_pool", "shutdown_pool", "pool_workers", "pmap", "pmap_batched"]
 
 T = TypeVar("T")
 
@@ -43,14 +45,15 @@ _POOL_WORKERS: int = 0
 _POOL_BROKEN_PERMANENTLY = False
 
 
-def _worker_init(perf_on: bool) -> None:
-    """Runs in each worker at spawn: no nested pools, mirror the perf switch."""
+def _worker_init(perf_on: bool, perf_backend: str) -> None:
+    """Runs in each worker at spawn: no nested pools, mirror the perf layer."""
     os.environ["REPRO_PARALLEL"] = "0"
-    from ..perf.config import set_perf_enabled
+    from ..perf.config import set_perf_backend, set_perf_enabled
     from .config import set_parallel_enabled
 
     set_parallel_enabled(False)
     set_perf_enabled(perf_on)
+    set_perf_backend(perf_backend)
 
 
 def get_pool() -> ProcessPoolExecutor | None:
@@ -69,14 +72,14 @@ def get_pool() -> ProcessPoolExecutor | None:
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
-    from ..perf.config import perf_enabled
+    from ..perf.config import perf_backend, perf_enabled
 
     try:
         _POOL = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=get_context("spawn"),
             initializer=_worker_init,
-            initargs=(perf_enabled(),),
+            initargs=(perf_enabled(), perf_backend()),
         )
     except OSError:  # no process support in this environment: stay serial
         _POOL_BROKEN_PERMANENTLY = True
@@ -127,6 +130,62 @@ def pmap(fn: Callable[[Any], T], items: Sequence[Any]) -> list[T]:
     except BrokenProcessPool:
         _discard_broken_pool()
         raise
+
+
+def _merge_ops(ops: OpCounters | None) -> None:
+    """Fold a worker's op-counter snapshot into the parent's open contexts."""
+    if ops:
+        for name, n in ops.items():
+            bump(name, n)
+
+
+def _batch_task(
+    payload: tuple[Callable[[Any], Any], tuple[Any, ...], bool],
+) -> tuple[list[Any], OpCounters | None]:
+    """Worker-side body of :func:`pmap_batched`: run ``fn`` over one chunk.
+
+    Top-level (picklable by reference); mirrors the task-function protocol of
+    :mod:`repro.parallel.worker` — when the parent had op-counter contexts
+    open, the chunk runs under :func:`~repro.perf.counters.op_counters` and
+    the snapshot travels back for merging.
+    """
+    fn, chunk, count_ops = payload
+    with (op_counters() if count_ops else nullcontext(None)) as ops:
+        results = [fn(it) for it in chunk]
+    return results, ops
+
+
+def pmap_batched(fn: Callable[[Any], T], items: Sequence[Any], *, chunks: int | None = None) -> list[T]:
+    """Chunked ordered map: one pool round trip per *chunk*, not per item.
+
+    :func:`pmap` pays pickle + future overhead per item, which swamps
+    sub-millisecond tasks — exactly the shape of the experiment sweeps
+    (thousands of small independent cells).  This variant ships whole chunks
+    (``chunks`` of them, default ``2 ×`` the pool width for tail balance) and
+    reassembles results in ``items`` order, so reductions stay bit-identical
+    to the serial loop.  Parent op-counter contexts see the same counts as a
+    serial run: each worker snapshot is merged exactly once per chunk.
+    """
+    items = list(items)
+    pool = get_pool() if len(items) > 1 else None
+    if pool is None:
+        return [fn(it) for it in items]
+    from .worker import split_jobs
+
+    count_ops = counting()
+    payloads = [
+        (fn, chunk, count_ops)
+        for chunk in split_jobs(items, chunks if chunks is not None else 2 * _POOL_WORKERS)
+    ]
+    out: list[T] = []
+    try:
+        for results, ops in pool.map(_batch_task, payloads):
+            out.extend(results)
+            _merge_ops(ops)
+    except BrokenProcessPool:
+        _discard_broken_pool()
+        raise
+    return out
 
 
 atexit.register(shutdown_pool)

@@ -11,6 +11,14 @@ costs one branch per call, and buys two properties the perf work depends on:
 
 The switch defaults to on; ``REPRO_PERF=0`` in the environment turns the
 whole layer off (useful for bisecting a suspected cache bug).
+
+Orthogonal to the on/off switch, ``REPRO_PERF_BACKEND`` selects which
+implementation the kernel registry (:mod:`repro.perf.kernels`) resolves for
+the *fast* branch: ``numpy`` (the default — the vectorized paths), ``numba``
+(the optional compiled twins; silently degrades to numpy when the ``[perf]``
+extra is not installed), or ``reference`` (the registry's scalar ground
+truth, for timing and debugging).  Unrecognized values fall back to
+``numpy``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ __all__ = [
     "perf_enabled",
     "set_perf_enabled",
     "use_perf",
+    "perf_backend",
+    "set_perf_backend",
+    "use_perf_backend",
     "cache_budget_bytes",
     "cache_min_cells",
 ]
@@ -61,6 +72,47 @@ def use_perf(on: bool) -> Iterator[None]:
         yield
     finally:
         set_perf_enabled(prev)
+
+
+#: backends the kernel registry can resolve (see repro.perf.kernels)
+_VALID_BACKENDS = ("reference", "numpy", "numba")
+
+
+def _parse_backend(raw: str) -> str:
+    val = raw.strip().lower()
+    return val if val in _VALID_BACKENDS else "numpy"
+
+
+_BACKEND: str = _parse_backend(os.environ.get("REPRO_PERF_BACKEND", "numpy"))
+
+
+def perf_backend() -> str:
+    """The kernel backend the registry resolves (``REPRO_PERF_BACKEND``)."""
+    return _BACKEND
+
+
+def set_perf_backend(name: str) -> str:
+    """Set the kernel backend; returns the previous one.
+
+    Raises ``ValueError`` on unknown names — unlike the environment parse,
+    which falls back to ``numpy``, a programmatic typo should be loud.
+    """
+    global _BACKEND
+    if name not in _VALID_BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r}; expected one of {_VALID_BACKENDS}")
+    prev = _BACKEND
+    _BACKEND = name
+    return prev
+
+
+@contextmanager
+def use_perf_backend(name: str) -> Iterator[None]:
+    """Context manager scoping the kernel backend (tests and the bench harness)."""
+    prev = set_perf_backend(name)
+    try:
+        yield
+    finally:
+        set_perf_backend(prev)
 
 
 def cache_budget_bytes() -> int:

@@ -6,14 +6,17 @@ counters* as the serial reference path — merely computed on more cores.
 ``proj_hits`` is excluded: cache hits depend on cache temperature, which
 differs even between two serial runs (see docs/performance.md).
 
-These are functional tests: a 2-worker pool runs fine on a 1-CPU box, so
-nothing here is gated on ``os.cpu_count()`` (only timing benchmarks are,
-in ``benchmarks/perf_regress.py``).
+These are functional tests: a 2-worker pool runs fine on a 1-CPU box.  The
+dispatch layer short-circuits to serial on single-CPU machines (pool round
+trips cannot win there), so every test that asserts the pool really ran
+passes ``force=True`` — the escape hatch that exists precisely for
+exercising the pool machinery itself.
 """
 
 from __future__ import annotations
 
 import glob
+import os
 
 import numpy as np
 import pytest
@@ -29,6 +32,7 @@ from repro.parallel import (
     get_pool,
     live_segments,
     pmap,
+    pmap_batched,
     pool_workers,
     shutdown_pool,
     use_parallel,
@@ -79,7 +83,7 @@ def test_bit_identity_two_workers(force_dispatch, name, seed):
     fn = CASES[name]
     with op_counters() as serial_ops:
         serial = _rects(fn(pref))
-    with use_parallel(True, workers=2):
+    with use_parallel(True, workers=2, force=True):
         with op_counters() as par_ops:
             par = _rects(fn(pref))
         assert pool_workers() == 2  # the pool really ran this
@@ -115,7 +119,7 @@ def _dev_shm_leftovers() -> list[str]:
 def test_no_segment_leak_after_shutdown(force_dispatch):
     """Normal lifecycle: exported segments are unlinked by shutdown_pool."""
     pref = _instance(11)
-    with use_parallel(True, workers=2):
+    with use_parallel(True, workers=2, force=True):
         _rects(hier_rb(pref, 16))
     shutdown_pool()
     assert live_segments() == []
@@ -129,7 +133,7 @@ def _boom(x):
 def test_no_segment_leak_after_worker_exception(force_dispatch):
     """A task raising in a worker must not leak segments after shutdown."""
     pref = _instance(13)
-    with use_parallel(True, workers=2):
+    with use_parallel(True, workers=2, force=True):
         _rects(jag_pq_heur(pref, 12))  # exports a segment
         with pytest.raises(RuntimeError, match="task failure"):
             pmap(_boom, [1, 2, 3])
@@ -140,6 +144,65 @@ def test_no_segment_leak_after_worker_exception(force_dispatch):
 
 def test_pmap_orders_results(force_dispatch):
     """pmap returns results in item order — the basis of identical reductions."""
-    with use_parallel(True, workers=2):
+    with use_parallel(True, workers=2, force=True):
         assert pmap(abs, [-5, 3, -1, 0, -2]) == [5, 3, 1, 0, 2]
+    shutdown_pool()
+
+
+def test_pmap_batched_orders_results(force_dispatch):
+    """pmap_batched reassembles chunk results in item order."""
+    items = list(range(-20, 20))
+    with use_parallel(True, workers=2, force=True):
+        assert pmap_batched(abs, items) == [abs(x) for x in items]
+        assert pmap_batched(abs, items, chunks=3) == [abs(x) for x in items]
+        assert pool_workers() == 2  # the pool really ran this
+    shutdown_pool()
+
+
+def test_pmap_batched_merges_op_counters(force_dispatch):
+    """Parent op-counter contexts see the same counts as the serial loop."""
+    pref = _instance(17, shape=(48, 48))
+    payloads = [(pref, m) for m in (4, 5, 6, 7, 8, 9)]
+    with op_counters() as serial_ops:
+        serial = [_hier_cell(p) for p in payloads]
+    with use_parallel(True, workers=2, force=True):
+        with op_counters() as par_ops:
+            par = pmap_batched(_hier_cell, payloads)
+    shutdown_pool()
+    assert par == serial
+    assert _contract_ops(par_ops) == _contract_ops(serial_ops)
+
+
+def _hier_cell(payload):
+    pref, m = payload
+    return _rects(hier_rb(pref, m))
+
+
+def test_single_cpu_short_circuits_to_serial(force_dispatch, monkeypatch):
+    """On a 1-CPU box dispatch falls through to serial: no pool round trips.
+
+    The spawn-pool round trips cannot buy parallelism on one core, so
+    ``effective_workers()`` reports 0 whatever worker count is configured,
+    no pool is created, and results are the serial results.
+    """
+    shutdown_pool()
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    pref = _instance(19)
+    serial = {n: _rects(fn(pref)) for n, fn in CASES.items()}
+    with use_parallel(True, workers=2):
+        assert effective_workers() == 0
+        assert get_pool() is None
+        for n, fn in CASES.items():
+            assert _rects(fn(pref)) == serial[n]
+        assert pool_workers() == 0  # never spawned
+        assert pmap_batched(abs, [-1, 2, -3]) == [1, 2, 3]  # serial fallback
+        assert pool_workers() == 0
+
+
+def test_single_cpu_force_overrides(force_dispatch, monkeypatch):
+    """force=True bypasses the 1-CPU short-circuit (pool-machinery tests)."""
+    shutdown_pool()
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    with use_parallel(True, workers=2, force=True):
+        assert effective_workers() == 2
     shutdown_pool()
