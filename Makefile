@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-fast lint-sarif ruff mypy test bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-check-identity
+.PHONY: check lint lint-fast lint-sarif ruff mypy test figures figures-smoke bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-figures bench-figures-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -40,6 +40,24 @@ lint-sarif:
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+# regenerate every figure/extension through the committed raw/ store:
+# unchanged cells are cache hits, only what changed is recomputed, and a
+# killed run resumes where it left off.  Delete raw/ (or add --force) for
+# a cold rebuild.
+figures:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --all --raw-dir raw --out benchmarks/results
+
+# CI smoke: one small figure twice against a scratch store — the second
+# run must be all cache hits and the CSVs byte-identical
+figures-smoke:
+	rm -rf /tmp/repro-figures-smoke && mkdir -p /tmp/repro-figures-smoke
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --figures fig05 \
+		--raw-dir /tmp/repro-figures-smoke/raw --out /tmp/repro-figures-smoke/a
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --figures fig05 \
+		--raw-dir /tmp/repro-figures-smoke/raw --out /tmp/repro-figures-smoke/b
+	cmp /tmp/repro-figures-smoke/a/fig05.csv /tmp/repro-figures-smoke/b/fig05.csv
+	@echo "figures-smoke: warm rerun byte-identical"
+
 # perf-regression harness: times every optimized kernel against its
 # reference path and writes BENCH_core.json at the repo root
 bench-json:
@@ -74,6 +92,15 @@ bench-sweep:
 
 bench-sweep-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sweep --profile tiny
+
+# figure-farm family: a fast figure subset regenerated cold / warm /
+# interrupted-then-resumed against the raw store, gated on byte-identical
+# CSVs; writes BENCH_FIGURES.json
+bench-figures:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --figures --min-speedup 5.0
+
+bench-figures-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --figures --profile tiny
 
 # committed-baseline gate: fail on any `identical: false` in BENCH_*.json
 bench-check-identity:

@@ -53,6 +53,17 @@ and ``BENCH_kernels.json`` is written.  ``--min-speedup`` here requires at
 least three kernels to reach the threshold on the numpy backend.  Run via
 ``make bench-kernels`` / ``make bench-kernels-smoke``.
 
+``--figures`` runs the *figure-farm* family instead: a fast subset of the
+experiment suite is regenerated three ways against the raw-result store
+(:mod:`repro.experiments.rawstore`) — cold into an empty store, warm from
+the fully populated store (must be all hits), and interrupted-then-resumed
+(an :class:`~repro.experiments.rawstore.InterruptingRawStore` kills the
+run after half the cell writes, then a fresh run over the same directory
+finishes it).  The gate is byte-identity of the final CSVs across all
+three runs; ``--min-speedup`` requires the aggregate warm regeneration to
+beat cold by the given factor.  ``BENCH_FIGURES.json`` is written.  Run
+via ``make bench-figures`` / the CI ``figures-smoke`` job.
+
 ``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
 root and exits non-zero if any row anywhere records ``identical: false`` —
 the cheap CI gate that a stale or hand-edited baseline cannot sneak a
@@ -870,6 +881,162 @@ def run_sweep(profile: str, out_path: Path, min_speedup: float | None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# figure-farm family: cold vs warm vs interrupted-then-resumed raw store
+
+#: fast subset of the experiment suite — covers the batched-grid path
+#: (fig03/fig04), the use_sweep per-cell path (fig05, fig13), the cached
+#: runtime metric (fig06), kwargs-scoped cells (fig09, ext3) and the
+#: combined-stream digest (ext2); the slow PIC sweeps are left out so the
+#: committed small-profile run stays minutes, not hours
+FIGURE_BENCH_IDS = ("fig03", "fig04", "fig05", "fig06", "fig09", "fig13", "ext2", "ext3")
+
+
+def run_figures(profile: str, out_path: Path, min_speedup: float | None) -> int:
+    """Cold/warm/resume figure regeneration; CSV byte-identity is the gate."""
+    import tempfile
+
+    from repro.experiments import ALL_EXTENSIONS, ALL_FIGURES, get_scale
+    from repro.experiments.rawstore import (
+        InterruptingRawStore,
+        RawStore,
+        SimulatedInterrupt,
+        use_raw_store,
+    )
+
+    runnable = {**ALL_FIGURES, **ALL_EXTENSIONS}
+    sc = get_scale(profile)
+    rows = []
+    failures = []
+    cold_total = 0.0
+    warm_total = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        for fig in FIGURE_BENCH_IDS:
+            fn = runnable[fig]
+            cold_dir = Path(tmp) / f"{fig}-cold"
+            resume_dir = Path(tmp) / f"{fig}-resume"
+
+            store = RawStore(cold_dir)
+            with use_raw_store(None, store=store):
+                t0 = time.perf_counter()
+                cold_csv = fn(sc).csv_bytes()
+                cold_s = time.perf_counter() - t0
+            cells = store.misses
+
+            warm_s = float("inf")
+            warm_csv = None
+            warm_misses = 0
+            for _ in range(3):
+                store = RawStore(cold_dir)
+                with use_raw_store(None, store=store):
+                    t0 = time.perf_counter()
+                    csv_bytes = fn(sc).csv_bytes()
+                    dt = time.perf_counter() - t0
+                warm_misses += store.misses
+                if dt < warm_s:
+                    warm_s, warm_csv = dt, csv_bytes
+            identical = warm_csv == cold_csv and warm_misses == 0
+
+            # kill the run after half its cell writes land, then resume
+            # over the same directory: the flushed half must be reused and
+            # the final CSV must match the uninterrupted run byte for byte
+            interrupted = InterruptingRawStore(
+                resume_dir, abort_after=max(1, cells // 2)
+            )
+            aborted = False
+            try:
+                with use_raw_store(None, store=interrupted):
+                    fn(sc)
+            except SimulatedInterrupt:
+                aborted = True
+            resumer = RawStore(resume_dir)
+            with use_raw_store(None, store=resumer):
+                t0 = time.perf_counter()
+                resume_csv = fn(sc).csv_bytes()
+                resume_s = time.perf_counter() - t0
+            if fig == "fig06":
+                # wall-clock cells: fresh timings in resume_dir legitimately
+                # differ from cold_dir's, so the contract is that a warm
+                # replay over the resumed store reproduces the resumed run
+                replay = RawStore(resume_dir)
+                with use_raw_store(None, store=replay):
+                    replay_csv = fn(sc).csv_bytes()
+                resume_identical = (
+                    aborted
+                    and resumer.hits > 0
+                    and replay.misses == 0
+                    and replay_csv == resume_csv
+                )
+            else:
+                resume_identical = (
+                    aborted and resume_csv == cold_csv and resumer.hits > 0
+                )
+
+            if not identical:
+                failures.append(f"{fig} (warm)")
+            if not resume_identical:
+                failures.append(f"{fig} (resume)")
+            cold_total += cold_s
+            warm_total += warm_s
+            speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+            rows.append(
+                {
+                    "name": fig,
+                    "family": "figures",
+                    "cells": cells,
+                    "cold_s": round(cold_s, 6),
+                    "warm_s": round(warm_s, 6),
+                    "resume_s": round(resume_s, 6),
+                    "speedup": round(speedup, 3),
+                    "resumed_hits": resumer.hits,
+                    "identical": identical and resume_identical,
+                }
+            )
+            print(
+                f"{fig:6s} cells {cells:3d}  cold {cold_s * 1e3:9.2f}ms -> warm "
+                f"{warm_s * 1e3:8.2f}ms ({speedup:6.2f}x)  resume "
+                f"{resume_s * 1e3:8.2f}ms  "
+                f"{'ok' if identical and resume_identical else 'MISMATCH'}"
+            )
+
+    agg_speedup = cold_total / warm_total if warm_total > 0 else float("inf")
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --figures",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benches": rows,
+        "families": {
+            "figures": {
+                "cold_total_s": round(cold_total, 6),
+                "warm_total_s": round(warm_total, 6),
+                "speedup": round(agg_speedup, 3),
+                "identical": not failures,
+            }
+        },
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"-- figures aggregate cold {cold_total * 1e3:9.2f}ms -> warm "
+        f"{warm_total * 1e3:9.2f}ms  {agg_speedup:6.2f}x"
+    )
+    if failures:
+        print(f"FAIL: non-identical CSVs: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if min_speedup is not None and agg_speedup < min_speedup:
+        print(
+            f"FAIL: warm figure regeneration {agg_speedup:.2f}x < "
+            f"{min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # committed-baseline identity gate
 
 
@@ -1016,6 +1183,13 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical results across backends",
     )
     ap.add_argument(
+        "--figures",
+        action="store_true",
+        help="run the figure-farm family instead: a fast figure subset "
+        "regenerated cold / warm / interrupted-then-resumed against the raw "
+        "store, asserting byte-identical CSVs",
+    )
+    ap.add_argument(
         "--check-identity",
         action="store_true",
         help="scan committed BENCH_*.json baselines and fail on any "
@@ -1033,6 +1207,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.sweep:
         out = args.out or REPO_ROOT / "BENCH_sweep.json"
         return run_sweep(args.profile, out, args.min_speedup)
+    if args.figures:
+        out = args.out or REPO_ROOT / "BENCH_FIGURES.json"
+        return run_figures(args.profile, out, args.min_speedup)
     out = args.out or REPO_ROOT / "BENCH_core.json"
     return run(args.profile, out, args.min_speedup)
 

@@ -74,9 +74,14 @@ ENV_VARS: dict[str, EnvVar] = {
         description="sweep fact-store path; empty keeps sweeps in-memory",
         consumer="repro.sweep.engine",
     ),
+    "REPRO_RAW_STORE": EnvVar(
+        default="",
+        description="raw figure-result store directory; empty recomputes every cell",
+        consumer="repro.experiments.rawstore",
+    ),
     "REPRO_SCALE": EnvVar(
         default="small",
-        description="experiment scale profile: small or paper",
+        description="experiment scale profile: tiny, small or paper",
         consumer="repro.experiments.scale",
     ),
     "REPRO_CACHE": EnvVar(

@@ -17,6 +17,7 @@ from pathlib import Path
 from ..parallel.config import use_parallel
 from .extensions import ALL_EXTENSIONS
 from .figures import ALL_FIGURES
+from .rawstore import current_raw_store, set_default_raw_store
 from .scale import get_scale
 
 ALL_RUNNABLE = {**ALL_FIGURES, **ALL_EXTENSIONS}
@@ -41,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale",
         default=None,
-        choices=("small", "paper"),
+        choices=("tiny", "small", "paper"),
         help="parameter profile (default: $REPRO_SCALE or 'small')",
     )
     parser.add_argument(
@@ -75,9 +76,31 @@ def main(argv: list[str] | None = None) -> int:
         "results stay byte-identical, repeat runs start warm; equivalent "
         "to setting $REPRO_SWEEP_STORE)",
     )
+    parser.add_argument(
+        "--raw-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="raw-result store: completed figure cells are flushed to DIR "
+        "atomically and reused on the next run (incremental, resumable; "
+        "equivalent to setting $REPRO_RAW_STORE)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every raw cell cold (fresh results still refresh "
+        "the raw store)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.raw_dir is not None:
+        set_default_raw_store(args.raw_dir, force=args.force)
+    elif args.force:
+        store = current_raw_store()
+        if store is None:
+            parser.error("--force needs a raw store (--raw-dir or $REPRO_RAW_STORE)")
+        store.force = True
     if args.sweep_store is not None:
         import os
 
@@ -103,10 +126,21 @@ def main(argv: list[str] | None = None) -> int:
     ctx = use_parallel(True, workers=args.jobs) if args.jobs > 1 else nullcontext()
     with ctx:
         for fig in figs:
+            store = current_raw_store()
+            before = store.counters() if store is not None else {}
             t0 = time.perf_counter()
             result = ALL_RUNNABLE[fig](scale)
             dt = time.perf_counter() - t0
             print(result.to_table())
+            if store is not None:
+                delta = {
+                    k: v - before[k] for k, v in store.counters().items()
+                }
+                print(
+                    f"# raw-store {fig}: "
+                    + " ".join(f"{k}={delta[k]}" for k in ("hits", "misses", "invalid")),
+                    file=sys.stderr,
+                )
             print(f"# generated in {dt:.1f}s\n", file=sys.stderr)
             if args.out is not None:
                 path = result.to_csv(args.out / f"{fig}.csv")

@@ -31,8 +31,10 @@ from ..dynamic import IncrementalJagged
 from ..instances import peak
 from ..jagged.m_heur import jag_m_heur
 from ..volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
-from .figures import HEURISTICS, _pic_dataset
+from .figures import HEURISTICS, _imb_cell, _pic_dataset
 from .harness import FigureResult
+from .rawstore import cell as raw_cell
+from .rawstore import combine_digests, digest_matrix, digest_prefix
 from .scale import get_scale
 
 __all__ = [
@@ -58,10 +60,20 @@ def ext1_comm_volume(scale=None) -> FigureResult:
         "crossing edges",
         notes=f"scale={sc.name}; §5 extension (not a paper figure)",
     )
+    dig = digest_prefix(pref)
     for m in sc.m_values:
         for name in HEURISTICS:
-            part = ALGORITHMS[name](pref, m)
-            res.add(name, m, communication_volume(part))
+            v = raw_cell(
+                sc.name,
+                dig,
+                name,
+                m,
+                lambda name=name, m=m: int(
+                    communication_volume(ALGORITHMS[name](pref, m))
+                ),
+                metric="comm_volume",
+            )
+            res.add(name, m, v)
     return res
 
 
@@ -79,7 +91,11 @@ def ext2_migration_tradeoff(scale=None) -> FigureResult:
         "total work moved per step) and mean imbalance",
     )
     snaps = [PrefixSum2D(A) for _, A in ds.snapshots()]
-    for thr in (0.0, 0.05, 0.1, 0.2, 0.4):
+    # one cell per threshold: the value is a function of the whole snapshot
+    # stream, so the instance coordinate is the combined stream digest
+    sig = combine_digests(digest_prefix(p) for p in snaps)
+
+    def _series(thr: float) -> list:
         inc = IncrementalJagged(m, threshold=thr)
         prev = None
         migration = 0
@@ -91,9 +107,25 @@ def ext2_migration_tradeoff(scale=None) -> FigureResult:
             prev = part
             imbs.append(part.imbalance(pref))
         total_work = sum(p.total for p in snaps)
-        res.add("migrated fraction", thr, migration / total_work)
-        res.add("mean imbalance", thr, float(np.mean(imbs)))
-        res.add("full repartitions", thr, inc.full_repartitions)
+        return [
+            float(migration / total_work),
+            float(np.mean(imbs)),
+            int(inc.full_repartitions),
+        ]
+
+    for thr in (0.0, 0.05, 0.1, 0.2, 0.4):
+        migrated, mean_imb, full = raw_cell(
+            sc.name,
+            sig,
+            "INC-JAGGED",
+            m,
+            lambda thr=thr: _series(thr),
+            metric="migration_series",
+            threshold=thr,
+        )
+        res.add("migrated fraction", thr, migrated)
+        res.add("mean imbalance", thr, mean_imb)
+        res.add("full repartitions", thr, full)
     return res
 
 
@@ -110,10 +142,20 @@ def ext3_stripe_autotuning(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; Theorem 4 uses the measured delta",
     )
+    dig = digest_prefix(pref)
     for m in sc.m_values:
         for policy in ("sqrt", "theorem4", "auto"):
-            part = jag_m_heur(pref, m, num_stripes=policy)
-            res.add(policy, m, part.imbalance(pref))
+            v = raw_cell(
+                sc.name,
+                dig,
+                "JAG-M-HEUR",
+                m,
+                lambda policy=policy, m=m: float(
+                    jag_m_heur(pref, m, num_stripes=policy).imbalance(pref)
+                ),
+                num_stripes=policy,
+            )
+            res.add(policy, m, v)
     return res
 
 
@@ -140,13 +182,21 @@ def ext4_volume_3d(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; rectangular volumes (paper §1)",
     )
+    dig = digest_matrix(A)
     for m in sc.m_values:
         for name, fn in (
             ("VOL-UNIFORM", vol_uniform),
             ("VOL-JAG-M-HEUR", vol_jag_m_heur),
             ("VOL-HIER-RB", vol_hier_rb),
         ):
-            res.add(name, m, fn(pref, m).imbalance(pref))
+            v = raw_cell(
+                sc.name,
+                dig,
+                name,
+                m,
+                lambda fn=fn, m=m: float(fn(pref, m).imbalance(pref)),
+            )
+            res.add(name, m, v)
     return res
 
 
@@ -192,9 +242,10 @@ def ext5_registry_coverage(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; entries no paper figure exercises (RPL007)",
     )
+    dig = digest_prefix(pref)
     for m in (2, 4, 6):
         for name in _UNCOVERED_ENTRIES:
-            res.add(name, m, ALGORITHMS[name](pref, m).imbalance(pref))
+            res.add(name, m, _imb_cell(sc.name, dig, name, m, pref))
     return res
 
 

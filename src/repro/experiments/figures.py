@@ -20,8 +20,17 @@ from ..instances.pic import PICMagDataset
 from ..jagged.m_heur import jag_m_heur
 from ..parallel.pool import pmap, pmap_batched
 from ..sweep import use_sweep
+from ..sweep.state import canonical_scope
 from ..theory.bounds import theorem3_ratio
 from .harness import FigureResult, timed
+from .rawstore import (
+    MISS,
+    RawStore,
+    cell as raw_cell,
+    current_raw_store,
+    digest_matrix,
+    digest_prefix,
+)
 from .scale import Scale, get_scale
 
 __all__ = [
@@ -99,6 +108,7 @@ def _avg_imbalance_grid(
     spec: tuple[str, int],
     seeds: int,
     grid: list[tuple[str, int, dict]],
+    profile: str | None = None,
 ) -> list[float]:
     """Whole-sweep twin of :func:`_avg_imbalance`: every ``(algo, m)`` at once.
 
@@ -108,13 +118,47 @@ def _avg_imbalance_grid(
     call amortizes dispatch over whole chunks while the reduction below runs
     per cell in seed order — bit-identical to calling
     :func:`_avg_imbalance` cell by cell, for any worker count.
+
+    With an ambient raw store (and a ``profile`` name to key under), the
+    parent resolves every per-seed cell against the store first, ships only
+    the misses — in chunks, flushing each chunk's results before the next
+    dispatch, so an interrupted run resumes from the flushed cells — and
+    reassembles in payload order, keeping the reduction bit-identical.
     """
     payloads = [
         (spec[0], spec[1], s, algo, m, kw)
         for algo, m, kw in grid
         for s in range(seeds)
     ]
-    cells = pmap_batched(_imbalance_cell, payloads)
+    store = current_raw_store()
+    if store is None or profile is None:
+        cells = pmap_batched(_imbalance_cell, payloads)
+    else:
+        family, n = spec
+        digests = [
+            digest_matrix(_INSTANCE_FAMILIES[family](n, seed=s)) for s in range(seeds)
+        ]
+        keys = [
+            RawStore.make_key(
+                profile=profile,
+                digest=digests[s],
+                algo=algo,
+                m=m,
+                scope=canonical_scope(kw),
+                metric="lmax_lavg",
+            )
+            for _, _, s, algo, m, kw in payloads
+        ]
+        cells = [store.load(k) for k in keys]
+        miss_idx = [i for i, v in enumerate(cells) if v is MISS]
+        chunk = max(8, seeds * 2)
+        for start in range(0, len(miss_idx), chunk):
+            idxs = miss_idx[start : start + chunk]
+            fresh = pmap_batched(_imbalance_cell, [payloads[i] for i in idxs])
+            for i, (lmax, lavg) in zip(idxs, fresh):
+                val = [int(lmax), float(lavg)]
+                store.store(keys[i], val)
+                cells[i] = val
     out = []
     for c in range(len(grid)):
         block = cells[c * seeds : (c + 1) * seeds]
@@ -124,6 +168,17 @@ def _avg_imbalance_grid(
             lavg_sum += lavg
         out.append(lmax_sum / lavg_sum - 1.0)
     return out
+
+
+def _imb_cell(profile: str, dig: str, algo: str, m: int, pref) -> float:
+    """One raw-store-resolved imbalance cell of a registry algorithm."""
+    return raw_cell(
+        profile,
+        dig,
+        algo,
+        m,
+        lambda: float(ALGORITHMS[algo](pref, m).imbalance(pref)),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -150,7 +205,7 @@ def fig03_hier_rb_variants(scale=None) -> FigureResult:
         for m in sc.m_values
         for variant in ("LOAD", "DIST", "HOR", "VER")
     ]
-    vals = _avg_imbalance_grid(("peak", sc.n_peak), sc.seeds, grid)
+    vals = _avg_imbalance_grid(("peak", sc.n_peak), sc.seeds, grid, sc.name)
     for (algo, m, _), v in zip(grid, vals):
         res.add(algo, m, v)
     return res
@@ -178,7 +233,7 @@ def fig04_hier_relaxed_variants(scale=None) -> FigureResult:
         for m in sc.m_values
         for variant in ("LOAD", "DIST", "HOR", "VER")
     ]
-    vals = _avg_imbalance_grid(("multi_peak", sc.n_multipeak), sc.seeds, grid)
+    vals = _avg_imbalance_grid(("multi_peak", sc.n_multipeak), sc.seeds, grid, sc.name)
     for (algo, m, _), v in zip(grid, vals):
         res.add(algo, m, v)
     return res
@@ -203,11 +258,12 @@ def fig05_hier_relaxed_diagonal(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; paper: 4096x4096",
     )
+    dig = digest_prefix(pref)
     with use_sweep():  # warm starts across the m sweep (bit-identical)
         for m in sc.m_values:
             for variant in ("LOAD", "DIST", "HOR", "VER"):
-                part = ALGORITHMS[f"HIER-RELAXED-{variant}"](pref, m)
-                res.add(f"HIER-RELAXED-{variant}", m, part.imbalance(pref))
+                algo = f"HIER-RELAXED-{variant}"
+                res.add(algo, m, _imb_cell(sc.name, dig, algo, m, pref))
     return res
 
 
@@ -234,19 +290,30 @@ def fig06_runtime(scale=None) -> FigureResult:
     )
     # deliberately NOT routed through use_sweep(): this figure *times* the
     # algorithms, and warm starts would measure the sweep engine instead of
-    # the per-call costs the paper reports
+    # the per-call costs the paper reports.  Timings are raw *measurements*:
+    # once a cell is in the raw store it is replayed verbatim (like any
+    # recorded experiment), keyed by the measurement protocol (repeats)
+    def _timing(algo: str, m: int, repeats: int) -> float:
+        return raw_cell(
+            sc.name,
+            dig,
+            algo,
+            m,
+            lambda: float(timed(ALGORITHMS[algo], pref, m, repeats=repeats)[0]),
+            metric="runtime_s",
+            repeats=repeats,
+        )
+
+    dig = digest_prefix(pref)
     for m in sc.m_values:
         for name in HEURISTICS:
             # best of 3: one-shot wall clocks of millisecond heuristics are
             # noisy under concurrent load
-            dt, _ = timed(ALGORITHMS[name], pref, m, repeats=3)
-            res.add(name, m, dt)
+            res.add(name, m, _timing(name, m, 3))
         if m <= sc.m_cap_pq_opt:
-            dt, _ = timed(ALGORITHMS["JAG-PQ-OPT"], pref, m)
-            res.add("JAG-PQ-OPT", m, dt)
+            res.add("JAG-PQ-OPT", m, _timing("JAG-PQ-OPT", m, 1))
         if m <= sc.m_cap_m_opt:
-            dt, _ = timed(ALGORITHMS["JAG-M-OPT"], pref, m)
-            res.add("JAG-M-OPT", m, dt)
+            res.add("JAG-M-OPT", m, _timing("JAG-M-OPT", m, 1))
     return res
 
 
@@ -272,15 +339,16 @@ def fig07_jagged_vs_m(scale=None) -> FigureResult:
         notes=f"scale={sc.name}; JAG-M-OPT capped at m={sc.m_cap_m_opt} "
         "(paper caps at 1,000: 'runtime becomes prohibitive')",
     )
+    dig = digest_prefix(pref)
     with use_sweep():  # heuristic witnesses seed the exact solvers per m,
         # and exact bounds transfer across the m sweep (bit-identical)
         for m in sc.m_values:
             for name in ("JAG-PQ-HEUR", "JAG-M-HEUR"):
-                res.add(name, m, ALGORITHMS[name](pref, m).imbalance(pref))
+                res.add(name, m, _imb_cell(sc.name, dig, name, m, pref))
             if m <= sc.m_cap_pq_opt:
-                res.add("JAG-PQ-OPT", m, ALGORITHMS["JAG-PQ-OPT"](pref, m).imbalance(pref))
+                res.add("JAG-PQ-OPT", m, _imb_cell(sc.name, dig, "JAG-PQ-OPT", m, pref))
             if m <= sc.m_cap_m_opt:
-                res.add("JAG-M-OPT", m, ALGORITHMS["JAG-M-OPT"](pref, m).imbalance(pref))
+                res.add("JAG-M-OPT", m, _imb_cell(sc.name, dig, "JAG-M-OPT", m, pref))
     return res
 
 
@@ -305,12 +373,13 @@ def fig08_jagged_vs_iteration(scale=None) -> FigureResult:
     )
     for it, A in ds.snapshots():
         pref = PrefixSum2D(A)
+        dig = digest_prefix(pref)
         with use_sweep():  # per snapshot: the heuristic witness seeds the
             # exact solver's upper bound at this m (bit-identical)
             for name in ("JAG-PQ-HEUR", "JAG-PQ-OPT", "JAG-M-HEUR"):
                 if name == "JAG-PQ-OPT" and m > sc.m_cap_pq_opt:
                     continue
-                res.add(name, it, ALGORITHMS[name](pref, m).imbalance(pref))
+                res.add(name, it, _imb_cell(sc.name, dig, name, m, pref))
     return res
 
 
@@ -336,11 +405,22 @@ def fig09_stripe_count(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; paper: 514x514, m=800, P in [2, 300]",
     )
+    dig = digest_prefix(pref)
     for P in sc.fig9_stripes:
         if P >= m or P >= pref.n1:
             continue
-        part = jag_m_heur(pref, m, num_stripes=P, orientation="hor")
-        res.add("JAG-M-HEUR variable P", P, part.imbalance(pref))
+        v = raw_cell(
+            sc.name,
+            dig,
+            "JAG-M-HEUR",
+            m,
+            lambda P=P: float(
+                jag_m_heur(pref, m, num_stripes=P, orientation="hor").imbalance(pref)
+            ),
+            num_stripes=P,
+            orientation="hor",
+        )
+        res.add("JAG-M-HEUR variable P", P, v)
         res.add(
             "m-way jagged guarantee (Thm 3)",
             P,
@@ -367,10 +447,13 @@ def fig10_hier_diagonal(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; paper: 4096x4096",
     )
+    dig = digest_prefix(pref)
     with use_sweep():  # warm starts across the m sweep (bit-identical)
         for m in sc.m_values:
-            res.add("HIER-RB", m, ALGORITHMS["HIER-RB"](pref, m).imbalance(pref))
-            res.add("HIER-RELAXED", m, ALGORITHMS["HIER-RELAXED"](pref, m).imbalance(pref))
+            res.add("HIER-RB", m, _imb_cell(sc.name, dig, "HIER-RB", m, pref))
+            res.add(
+                "HIER-RELAXED", m, _imb_cell(sc.name, dig, "HIER-RELAXED", m, pref)
+            )
     return res
 
 
@@ -395,8 +478,9 @@ def fig11_hier_vs_iteration(scale=None) -> FigureResult:
     )
     for it, A in ds.snapshots():
         pref = PrefixSum2D(A)
-        res.add("HIER-RB", it, ALGORITHMS["HIER-RB"](pref, m).imbalance(pref))
-        res.add("HIER-RELAXED", it, ALGORITHMS["HIER-RELAXED"](pref, m).imbalance(pref))
+        dig = digest_prefix(pref)
+        res.add("HIER-RB", it, _imb_cell(sc.name, dig, "HIER-RB", m, pref))
+        res.add("HIER-RELAXED", it, _imb_cell(sc.name, dig, "HIER-RELAXED", m, pref))
     return res
 
 
@@ -422,8 +506,9 @@ def fig12_all_vs_iteration(scale=None) -> FigureResult:
     )
     for it, A in ds.snapshots():
         pref = PrefixSum2D(A)
+        dig = digest_prefix(pref)
         for name in HEURISTICS:
-            res.add(name, it, ALGORITHMS[name](pref, m).imbalance(pref))
+            res.add(name, it, _imb_cell(sc.name, dig, name, m, pref))
     return res
 
 
@@ -447,10 +532,11 @@ def fig13_all_vs_m(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}",
     )
+    dig = digest_prefix(pref)
     with use_sweep():  # warm starts across the m sweep (bit-identical)
         for m in sc.m_values:
             for name in HEURISTICS:
-                res.add(name, m, ALGORITHMS[name](pref, m).imbalance(pref))
+                res.add(name, m, _imb_cell(sc.name, dig, name, m, pref))
     return res
 
 
@@ -475,10 +561,11 @@ def fig14_slac(scale=None) -> FigureResult:
         "load imbalance",
         notes=f"scale={sc.name}; sparse instance (zeros), delta undefined",
     )
+    dig = digest_prefix(pref)
     with use_sweep():  # warm starts across the m sweep (bit-identical)
         for m in sc.m_values:
             for name in HEURISTICS:
-                res.add(name, m, ALGORITHMS[name](pref, m).imbalance(pref))
+                res.add(name, m, _imb_cell(sc.name, dig, name, m, pref))
     return res
 
 

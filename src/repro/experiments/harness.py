@@ -71,24 +71,30 @@ class FigureResult:
             out.write("\n")
         return out.getvalue()
 
-    def to_csv(self, path: str | Path) -> Path:
-        """Write the table as CSV (x column + one column per series).
+    def csv_bytes(self) -> bytes:
+        """The CSV rendering as bytes (x column + one column per series).
 
         ``repr`` of a float round-trips exactly in Python 3, so
-        :meth:`from_csv` recovers the series bit-identically.
+        :meth:`from_csv` recovers the series bit-identically; the byte
+        form is what the figure-farm identity gates compare.
         """
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        buf = io.StringIO()
         names = list(self.series)
         lookup = {name: dict(pts) for name, pts in self.series.items()}
-        with path.open("w", newline="") as fh:
-            w = csv.writer(fh)
-            w.writerow([self.xlabel] + names)
-            for x in self.xs():
-                w.writerow([repr(x)] + [
-                    repr(v) if (v := lookup[n].get(x)) is not None else MISSING
-                    for n in names
-                ])
+        w = csv.writer(buf)
+        w.writerow([self.xlabel] + names)
+        for x in self.xs():
+            w.writerow([repr(x)] + [
+                repr(v) if (v := lookup[n].get(x)) is not None else MISSING
+                for n in names
+            ])
+        return buf.getvalue().encode()
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write :meth:`csv_bytes` to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.csv_bytes())
         return path
 
     @classmethod

@@ -5,6 +5,8 @@ a C++ implementation; re-running every figure at that scale in Python is
 possible but slow, so each experiment reads its parameters from a *scale
 profile*:
 
+* ``tiny`` — micro grids for smoke runs: every figure in seconds (the test
+  suite and the CI ``figures-smoke`` job run here).
 * ``small`` (default) — laptop-scale grids that preserve every qualitative
   phenomenon (who wins, crossovers, waves); minutes for the full suite.
 * ``paper`` — the paper's matrix sizes, processor counts and snapshot
@@ -21,7 +23,7 @@ from dataclasses import dataclass
 from ..config import env_str
 from ..instances.pic import PICConfig
 
-__all__ = ["Scale", "SMALL", "PAPER", "current_scale", "get_scale"]
+__all__ = ["Scale", "TINY", "SMALL", "PAPER", "current_scale", "get_scale"]
 
 
 def _squares(lo: int, hi: int, count: int) -> list[int]:
@@ -68,6 +70,30 @@ class Scale:
     m_fig11: int  # Fig 11 (paper: 400)
     m_fig12: int  # Fig 12 (paper: 9,216)
 
+
+TINY = Scale(
+    name="tiny",
+    m_values=(4, 9, 16),
+    m_cap_pq_opt=16,
+    m_cap_m_opt=9,
+    n_peak=24,
+    n_multipeak=24,
+    n_diagonal=32,
+    n_uniform=24,
+    n_fig9=34,
+    m_fig9=12,
+    fig9_stripes=(2, 3, 5, 8),
+    n_slac=32,
+    seeds=2,
+    pic=PICConfig(grid=24, particles=1200, seed=3),
+    pic_period=100,
+    pic_max_iteration=300,
+    pic_fig7_iteration=300,
+    pic_fig13_iteration=200,
+    m_fig8=9,
+    m_fig11=6,
+    m_fig12=12,
+)
 
 SMALL = Scale(
     name="small",
@@ -117,7 +143,7 @@ PAPER = Scale(
     m_fig12=9216,
 )
 
-_PROFILES = {"small": SMALL, "paper": PAPER}
+_PROFILES = {"tiny": TINY, "small": SMALL, "paper": PAPER}
 
 
 def current_scale() -> Scale:

@@ -79,6 +79,20 @@ _I64_MAX = 2**63 - 1
 #: cannot amortize against a greedy walk that visits at most m boundaries
 _CUTS_JUMP_RATIO = 16
 
+#: amortization bar for the probe_cuts jump table: the greedy realizes a
+#: *feasible* bottleneck, so it covers the window in ~span/B steps and pads
+#: the remaining cuts without further searches.  The O(window) table build
+#: (~40ns/boundary) only beats per-step ``bisect_right`` (~250ns/step on
+#: a 10^5-boundary window) when the walk visits at least window/4
+#: boundaries — measured crossover on the bench box, see
+#: docs/performance.md ("probe_cuts regime crossover")
+_CUTS_STEP_AMORT = 4
+
+#: min_parts jump-table walk: list conversion of the whole table only
+#: amortizes when the walk visits at least window/5 entries; sparser walks
+#: read the ndarray directly (same values, no O(window) ``tolist``)
+_MINPARTS_LIST_AMORT = 5
+
 #: processor count below which the scalar relaxed-split path beats the
 #: vectorized one (small-array numpy call overhead dominates under ~32)
 SCALAR_MAX_M = 32
@@ -246,19 +260,31 @@ def _min_parts_numpy(
         return limit + 1
     # the jump-table window covers boundaries lo..hi of the prefix
     w = arr[lo : hi + 1]  # repro-lint: disable=RPL002 — boundary window, not cells
+    span = 0
     if w.size:
         span = int(w[-1]) - int(w[0])
         if B > span:
             B = span  # any B covering the whole window jumps the same; stays in int64
-        targets = w + np.minimum(B, w[-1] - w)  # clamped: cannot overflow int64
+        targets = w[-1] - w  # stays int64: both ends bounded by the total
+        np.minimum(targets, B, out=targets)
+        np.add(targets, w, out=targets)  # clamped: cannot overflow int64
     else:
         targets = w
-    nxt = np.searchsorted(w, targets, side="right") - 1
-    jump = nxt.tolist()
+    nxt = np.searchsorted(w, targets, side="right")
+    nxt -= 1
     if _OPS:
         bump("searchsorted_calls")
         bump("searchsorted_items", hi - lo + 1)
     end = hi - lo
+    # the walk reads ~span/B of the (hi-lo) table entries; converting the
+    # whole table to a list (~17ns/entry) only amortizes against per-read
+    # ``.item`` overhead (~90ns) when the walk is dense — measured
+    # crossover at window/_MINPARTS_LIST_AMORT on the bench box
+    est = min(limit, span // B + 1) if B > 0 else 1
+    if est * _MINPARTS_LIST_AMORT >= end:
+        fetch = nxt.tolist().__getitem__
+    else:
+        fetch = nxt.item
     pos = 0
     parts = 0
     while pos < end:
@@ -267,7 +293,7 @@ def _min_parts_numpy(
                 bump("probe_calls")
                 bump("probe_steps", parts)
             return limit + 1
-        step = jump[pos]
+        step = fetch(pos)
         if step <= pos:  # single cell exceeds B
             if cap is None:
                 raise ValueError(f"single cell exceeds bottleneck {B}")
@@ -322,28 +348,37 @@ def _probe_cuts_numpy(
     lo: int = 0,
     hi: int | None = None,
 ) -> np.ndarray | None:
-    """Adaptive greedy cuts: jump table in the dense-cut regime only.
+    """Adaptive greedy cuts: jump table only when the walk can amortize it.
 
-    When the window holds many more boundaries than intervals the greedy
-    visits at most ``m`` of them, so the O(n) table cannot amortize and the
-    scalar walk (trivially identical to the reference) is kept.
+    The greedy realizes a bottleneck ``B`` and stops searching once the
+    window is covered — after roughly ``span/B`` steps — padding the
+    remaining cuts for free.  Estimated walk length (capped at ``m``) must
+    reach a constant fraction of the window (``_CUTS_STEP_AMORT``) for the
+    O(window) table build to beat per-step ``bisect_right``; below that
+    measured crossover the scalar walk (trivially identical to the
+    reference) is kept.
     """
     if hi is None:
         hi = len(P) - 1
     if B < 0:
         return None
-    if (hi - lo) > _CUTS_JUMP_RATIO * m:
+    window = hi - lo
+    span = int(P[hi]) - int(P[lo]) if window > 0 else 0
+    steps = min(m, span // B + 1) if B > 0 else 0
+    if steps * _CUTS_STEP_AMORT < window:
         return _probe_cuts_reference(P, m, B, lo, hi)
     arr = np.asarray(P, dtype=np.int64)
     w = arr[lo : hi + 1]  # repro-lint: disable=RPL002 — boundary window, not cells
     if w.size:
-        span = int(w[-1]) - int(w[0])
         if B > span:
             B = span  # any B covering the whole window jumps the same
-        targets = w + np.minimum(B, w[-1] - w)  # clamped: cannot overflow int64
+        targets = w[-1] - w  # stays int64: both ends bounded by the total
+        np.minimum(targets, B, out=targets)
+        np.add(targets, w, out=targets)  # clamped: cannot overflow int64
     else:
         targets = w
-    nxt = np.searchsorted(w, targets, side="right") - 1
+    nxt = np.searchsorted(w, targets, side="right")
+    nxt -= 1
     jump = nxt.tolist()
     if _OPS:
         bump("searchsorted_calls")

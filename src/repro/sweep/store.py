@@ -52,7 +52,7 @@ import numpy as np
 from ..core.prefix import PrefixSum2D
 from .state import Scope, SweepInvariantError, SweepState
 
-__all__ = ["SweepStore", "instance_digest"]
+__all__ = ["SweepStore", "instance_digest", "matrix_digest"]
 
 _FORMAT = "repro-sweep-store"
 _VERSION = 1
@@ -69,17 +69,17 @@ _MAX_TABLE = 512
 _MAX_FACTS = 4096
 
 
-def instance_digest(pref: PrefixSum2D) -> tuple[str, int]:
-    """``(digest, scale)`` of a prefix's underlying load matrix.
+def matrix_digest(A: np.ndarray) -> tuple[str, int]:
+    """``(digest, scale)`` of an integer load array (any dimensionality).
 
-    ``scale`` is the gcd of all loads (1 for the zero matrix); the digest
-    hashes dtype, shape, and the primitive matrix ``A // scale``, so any
+    ``scale`` is the gcd of all loads (1 for the zero array); the digest
+    hashes dtype, shape, and the primitive array ``A // scale``, so any
     positive-integer multiple of the same primitive maps to the same
-    entry.  Shape is part of the hashed material: matrices with identical
+    entry.  Shape is part of the hashed material: arrays with identical
     bytes but different shapes get different digests.
     """
-    A = np.diff(np.diff(pref.G, axis=0), axis=1)
-    scale = int(np.gcd.reduce(A, axis=None))
+    A = np.asarray(A, dtype=np.int64)
+    scale = int(np.gcd.reduce(A, axis=None)) if A.size else 1
     if scale <= 0:
         scale = 1
     prim = A // scale
@@ -89,6 +89,15 @@ def instance_digest(pref: PrefixSum2D) -> tuple[str, int]:
     h.update(b"|")
     h.update(np.ascontiguousarray(prim, dtype=np.int64).tobytes())
     return h.hexdigest(), scale
+
+
+def instance_digest(pref: PrefixSum2D) -> tuple[str, int]:
+    """``(digest, scale)`` of a prefix's underlying load matrix.
+
+    Recovers the load matrix from the inclusive prefix grid and hashes its
+    primitive form via :func:`matrix_digest`.
+    """
+    return matrix_digest(np.diff(np.diff(pref.G, axis=0), axis=1))
 
 
 def _scope_to_json(scope: Scope) -> list:

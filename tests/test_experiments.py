@@ -5,33 +5,7 @@ import pytest
 
 from repro.experiments import ALL_FIGURES, FigureResult, get_scale
 from repro.experiments.cli import main
-from repro.experiments.scale import PAPER, SMALL, Scale
-from repro.instances.pic import PICConfig
-
-#: micro profile so every figure runs in seconds inside the test suite
-TINY = Scale(
-    name="tiny",
-    m_values=(4, 9, 16),
-    m_cap_pq_opt=16,
-    m_cap_m_opt=9,
-    n_peak=24,
-    n_multipeak=24,
-    n_diagonal=32,
-    n_uniform=24,
-    n_fig9=34,
-    m_fig9=12,
-    fig9_stripes=(2, 3, 5, 8),
-    n_slac=32,
-    seeds=2,
-    pic=PICConfig(grid=24, particles=1200, seed=3),
-    pic_period=100,
-    pic_max_iteration=300,
-    pic_fig7_iteration=300,
-    pic_fig13_iteration=200,
-    m_fig8=9,
-    m_fig11=6,
-    m_fig12=12,
-)
+from repro.experiments.scale import PAPER, SMALL, TINY, Scale
 
 
 class TestScale:
