@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-fast lint-sarif ruff mypy test figures figures-smoke bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-figures bench-figures-smoke bench-check-identity
+.PHONY: check lint lint-fast lint-sarif ruff mypy test figures figures-smoke bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-figures bench-figures-smoke bench-sparse bench-sparse-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -101,6 +101,16 @@ bench-figures:
 
 bench-figures-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --figures --profile tiny
+
+# sparse-substrate family: CSR substrate vs dense Γ on the large-profile
+# instances (4096² spmv/mesh/slac), gated on bit-identical queries and
+# partitions and on spmv substrate memory <= 10% of dense Γ bytes; writes
+# BENCH_sparse.json
+bench-sparse:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sparse
+
+bench-sparse-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sparse --profile tiny
 
 # committed-baseline gate: fail on any `identical: false` in BENCH_*.json
 bench-check-identity:

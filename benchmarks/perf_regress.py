@@ -64,6 +64,18 @@ three runs; ``--min-speedup`` requires the aggregate warm regeneration to
 beat cold by the given factor.  ``BENCH_FIGURES.json`` is written.  Run
 via ``make bench-figures`` / the CI ``figures-smoke`` job.
 
+``--sparse`` runs the *sparse-substrate* family instead: the ``large``
+profile's instance generators build their CSR substrate
+(:class:`repro.core.sparse.SparsePrefix2D`) from the triplet stream while
+the dense twins densify, memory (tracemalloc build peak, resident substrate
+bytes vs dense Γ bytes) and query/solver wall-clock are recorded for both,
+and every query and every solver partition is asserted bit-identical across
+substrates.  The spmv rows at the full profile run at 4096² and gate
+``sparse_nbytes <= 10%`` of the dense Γ bytes; one ``--scale large``
+raw-store cell runs end-to-end (cold compute, then warm hit) on the sparse
+substrate.  ``BENCH_sparse.json`` is written.  Run via ``make bench-sparse``
+/ ``make bench-sparse-smoke``.
+
 ``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
 root and exits non-zero if any row anywhere records ``identical: false`` —
 the cheap CI gate that a stale or hand-edited baseline cannot sneak a
@@ -1037,6 +1049,249 @@ def run_figures(profile: str, out_path: Path, min_speedup: float | None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# sparse-substrate family (--sparse)
+
+
+def _sparse_cases(tiny: bool) -> list[tuple[str, int, Callable[[], Any], Callable[[], Any], bool]]:
+    """``(name, n, dense_builder, sparse_builder, mem_gate)`` per instance.
+
+    ``mem_gate`` rows enforce the acceptance bound: the CSR substrate's
+    resident bytes must stay at or below 10% of the dense Γ bytes.  The
+    SLAC projection is denser (several-percent fill), so it records its
+    ratio without gating it — the gate is the spmv story.
+    """
+    from repro.instances import slac_instance
+    from repro.instances.mesh.project import slac_sparse
+    from repro.instances.spmv import spmv_instance, spmv_sparse
+
+    if tiny:
+        return [
+            (
+                "spmv_rmat",
+                512,
+                lambda: spmv_instance(512, model="rmat", scale=12, edge_factor=2, seed=0),
+                lambda: spmv_sparse(512, model="rmat", scale=12, edge_factor=2, seed=0),
+                True,
+            ),
+            (
+                "spmv_mesh",
+                256,
+                lambda: spmv_instance(256, model="mesh", mesh_size=256),
+                lambda: spmv_sparse(256, model="mesh", mesh_size=256),
+                True,
+            ),
+        ]
+    return [
+        (
+            "spmv_rmat",
+            4096,
+            lambda: spmv_instance(4096, model="rmat", scale=14, edge_factor=8, seed=0),
+            lambda: spmv_sparse(4096, model="rmat", scale=14, edge_factor=8, seed=0),
+            True,
+        ),
+        (
+            "spmv_mesh",
+            4096,
+            lambda: spmv_instance(4096, model="mesh", mesh_size=512),
+            lambda: spmv_sparse(4096, model="mesh", mesh_size=512),
+            True,
+        ),
+        (
+            "slac",
+            4096,
+            lambda: slac_instance(4096),
+            lambda: slac_sparse(4096),
+            False,
+        ),
+    ]
+
+
+def run_sparse(profile: str, out_path: Path) -> int:
+    """Sparse vs dense substrate: memory, wall-clock, and bit-identity.
+
+    Three row groups: per-instance *substrate* rows (build peak + resident
+    bytes + query timings, every query asserted equal), per-(instance,
+    algorithm) *solver* rows (partition wall-clock on both substrates,
+    rectangles asserted bit-identical), and one ``--scale large`` raw-store
+    cell resolved cold then warm on the sparse substrate.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.core.sparse import SparsePrefix2D
+    from repro.experiments import get_scale
+    from repro.experiments.figures import _imb_cell
+    from repro.experiments.rawstore import RawStore, digest_prefix, use_raw_store
+    from repro.sweep.store import instance_digest
+
+    tiny = profile == "tiny"
+    m_solver = 9 if tiny else 64
+    solver_algos = ("JAG-M-HEUR", "HIER-RB", "RECT-NICOL")
+    rng = np.random.default_rng(99)
+    sub_rows = []
+    solver_rows = []
+    failures = []
+
+    with use_perf(True):
+        for name, n, dense_builder, sparse_builder, mem_gate in _sparse_cases(tiny):
+            tracemalloc.start()
+            try:
+                t0 = time.perf_counter()
+                sub = sparse_builder()
+                build_sparse_s = time.perf_counter() - t0
+                _, build_peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            t0 = time.perf_counter()
+            A = dense_builder()
+            pref = PrefixSum2D(A)
+            build_dense_s = time.perf_counter() - t0
+            dense_bytes = pref.nbytes
+
+            is_sparse = isinstance(sub, SparsePrefix2D)
+            identical = is_sparse and instance_digest(sub) == instance_digest(pref)
+
+            # query workload: random rectangles + random stripe projections
+            k = 128 if tiny else 512
+            rr = np.sort(rng.integers(0, n + 1, size=(k, 2)), axis=1)
+            cc = np.sort(rng.integers(0, n + 1, size=(k, 2)), axis=1)
+            coords = np.column_stack([rr, cc])
+            bands = np.sort(rng.integers(0, n + 1, size=(16, 2)), axis=1)
+            bands = [(int(lo), int(hi)) for lo, hi in bands if hi > lo]
+
+            t0 = time.perf_counter()
+            loads_sparse = sub.rect_loads(coords)
+            proj_sparse = [sub.axis_prefix(1, lo, hi, reuse=False) for lo, hi in bands]
+            query_sparse_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            loads_dense = pref.rect_loads(coords)
+            proj_dense = [pref.axis_prefix(1, lo, hi, reuse=False) for lo, hi in bands]
+            query_dense_s = time.perf_counter() - t0
+            identical = (
+                identical
+                and bool(np.array_equal(loads_sparse, loads_dense))
+                and all(np.array_equal(s, d) for s, d in zip(proj_sparse, proj_dense))
+            )
+            mem_ratio = sub.nbytes / dense_bytes
+            gate_ok = (not mem_gate) or mem_ratio <= 0.10
+            if not identical:
+                failures.append(f"substrate/{name} (queries)")
+            if not gate_ok:
+                failures.append(f"substrate/{name} (memory {mem_ratio:.3f} > 0.10)")
+            sub_rows.append(
+                {
+                    "name": f"substrate/{name}",
+                    "n": n,
+                    "nnz": int(sub.nnz) if is_sparse else None,
+                    "density": round(float(sub.density), 6) if is_sparse else None,
+                    "sparse_nbytes": int(sub.nbytes),
+                    "dense_gamma_bytes": int(dense_bytes),
+                    "mem_ratio": round(mem_ratio, 6),
+                    "mem_gated": mem_gate,
+                    "build_sparse_s": round(build_sparse_s, 6),
+                    "build_peak_bytes": int(build_peak),
+                    "build_dense_s": round(build_dense_s, 6),
+                    "query_sparse_s": round(query_sparse_s, 6),
+                    "query_dense_s": round(query_dense_s, 6),
+                    "identical": identical and gate_ok,
+                }
+            )
+            print(
+                f"substrate/{name:10s} n={n:5d} nnz={sub.nnz if is_sparse else '-':>8} "
+                f"mem {sub.nbytes / 2**20:7.2f}MiB / {dense_bytes / 2**20:7.2f}MiB "
+                f"({mem_ratio:6.1%})  build {build_sparse_s:6.2f}s/{build_dense_s:6.2f}s  "
+                f"{'ok' if identical and gate_ok else 'MISMATCH'}"
+            )
+
+            for algo in solver_algos:
+                t0 = time.perf_counter()
+                part_dense = partition_2d(pref, m_solver, algo)
+                solve_dense_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                part_sparse = partition_2d(sub, m_solver, algo)
+                solve_sparse_s = time.perf_counter() - t0
+                same = _rects_key(part_sparse) == _rects_key(part_dense)
+                if not same:
+                    failures.append(f"solver/{name}/{algo}")
+                solver_rows.append(
+                    {
+                        "name": f"solver/{name}/{algo}/m={m_solver}",
+                        "sparse_s": round(solve_sparse_s, 6),
+                        "dense_s": round(solve_dense_s, 6),
+                        "identical": same,
+                    }
+                )
+                print(
+                    f"solver/{name}/{algo}/m={m_solver}  sparse "
+                    f"{solve_sparse_s * 1e3:9.2f}ms  dense {solve_dense_s * 1e3:9.2f}ms  "
+                    f"{'ok' if same else 'MISMATCH'}"
+                )
+
+        # one `--scale large` cell end-to-end through the raw store: the
+        # sparse-substrate instance the profile exists for, resolved cold
+        # (computed, flushed) then warm (served from disk, no recompute)
+        sc = get_scale("large")
+        from repro.instances.spmv import spmv_sparse as _spmv_sparse
+
+        t0 = time.perf_counter()
+        pref_large = _spmv_sparse(sc.n_spmv, model="rmat", seed=0)
+        build_large_s = time.perf_counter() - t0
+        dig = digest_prefix(pref_large)
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_store = RawStore(Path(tmp) / "large")
+            with use_raw_store(None, store=cold_store):
+                t0 = time.perf_counter()
+                v_cold = _imb_cell(sc.name, dig, "JAG-M-HEUR", 16, pref_large)
+                cold_s = time.perf_counter() - t0
+            warm_store = RawStore(Path(tmp) / "large")
+            with use_raw_store(None, store=warm_store):
+                t0 = time.perf_counter()
+                v_warm = _imb_cell(sc.name, dig, "JAG-M-HEUR", 16, pref_large)
+                warm_s = time.perf_counter() - t0
+        cell_ok = (
+            isinstance(pref_large, SparsePrefix2D)
+            and v_warm == v_cold
+            and warm_store.misses == 0
+            and warm_store.hits >= 1
+        )
+        if not cell_ok:
+            failures.append("raw_store/large_cell")
+        large_cell = {
+            "name": "raw_store/large/spmv_rmat/JAG-M-HEUR/m=16",
+            "n": sc.n_spmv,
+            "scale": sc.name,
+            "build_s": round(build_large_s, 6),
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "value": float(v_cold),
+            "identical": cell_ok,
+        }
+        print(
+            f"raw_store/large n={sc.n_spmv} cold {cold_s * 1e3:9.2f}ms -> warm "
+            f"{warm_s * 1e3:8.2f}ms  {'ok' if cell_ok else 'MISMATCH'}"
+        )
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --sparse",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "substrates": sub_rows,
+        "solvers": solver_rows,
+        "raw_store_cell": large_cell,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # committed-baseline identity gate
 
 
@@ -1190,6 +1445,13 @@ def main(argv: list[str] | None = None) -> int:
         "store, asserting byte-identical CSVs",
     )
     ap.add_argument(
+        "--sparse",
+        action="store_true",
+        help="run the sparse-substrate family instead: CSR vs dense Γ memory "
+        "and wall-clock on the large-profile instances, asserting "
+        "bit-identical queries and partitions across substrates",
+    )
+    ap.add_argument(
         "--check-identity",
         action="store_true",
         help="scan committed BENCH_*.json baselines and fail on any "
@@ -1198,6 +1460,9 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     if args.check_identity:
         return check_identity()
+    if args.sparse:
+        out = args.out or REPO_ROOT / "BENCH_sparse.json"
+        return run_sparse(args.profile, out)
     if args.kernels:
         out = args.out or REPO_ROOT / "BENCH_kernels.json"
         return run_kernels(args.profile, out, args.min_speedup)

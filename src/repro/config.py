@@ -81,8 +81,13 @@ ENV_VARS: dict[str, EnvVar] = {
     ),
     "REPRO_SCALE": EnvVar(
         default="small",
-        description="experiment scale profile: tiny, small or paper",
+        description="experiment scale profile: tiny, small, paper or large",
         consumer="repro.experiments.scale",
+    ),
+    "REPRO_SPARSE_THRESHOLD": EnvVar(
+        default="0.25",
+        description="density (nnz/cells) at or below which auto_substrate builds the CSR substrate; 0 disables sparse",
+        consumer="repro.core.sparse",
     ),
     "REPRO_CACHE": EnvVar(
         default="",

@@ -178,12 +178,10 @@ class Partition:
     def loads(self, A: MatrixLike) -> np.ndarray:
         """Per-processor loads ``L(r_i)`` as an int64 array of length ``m``."""
         pref = prefix_2d(A)
-        G = pref.G
         coords = self.coords()
         if coords.size == 0:
             return np.zeros(0, dtype=np.int64)
-        r0, r1, c0, c1 = coords.T
-        return G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0]
+        return pref.rect_loads(coords)
 
     def max_load(self, A: MatrixLike) -> int:
         """Load of the most loaded processor (the paper's ``Lmax``)."""

@@ -13,18 +13,25 @@ bisection on the bottleneck value.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Protocol, Union, runtime_checkable
 
 import numpy as np
 
 from ..perf.cache import LRUCache
 from ..perf.config import cache_budget_bytes, cache_min_cells, perf_enabled
 from ..perf.counters import _STACK as _OPS
-from ..perf.counters import bump
+from ..perf.counters import bump, gauge
 from ..sweep.state import sweep_active
 from .errors import ParameterError
 
-__all__ = ["PrefixSum1D", "PrefixSum2D", "prefix_1d", "prefix_2d", "as_load_matrix"]
+__all__ = [
+    "LoadView",
+    "PrefixSum1D",
+    "PrefixSum2D",
+    "prefix_1d",
+    "prefix_2d",
+    "as_load_matrix",
+]
 
 
 def as_load_matrix(A: np.ndarray) -> np.ndarray:
@@ -40,6 +47,10 @@ def as_load_matrix(A: np.ndarray) -> np.ndarray:
         raise ParameterError("load matrix must be non-empty")
     if not np.issubdtype(A.dtype, np.integer):
         if np.issubdtype(A.dtype, np.floating):
+            if not np.isfinite(A).all():
+                # report non-finite input for what it is: np.allclose below
+                # would fail on NaN/inf and mislabel it a non-integer matrix
+                raise ParameterError("load matrix must be finite (contains NaN or inf)")
             if not np.allclose(A, np.rint(A)):
                 raise ParameterError("load matrix must contain integers")
             A = np.rint(A)
@@ -111,38 +122,70 @@ class PrefixSum1D:
         return self.n
 
 
-class PrefixSum2D:
-    """Two-dimensional prefix-sum array ``Γ`` with O(1) rectangle loads.
+@runtime_checkable
+class LoadView(Protocol):
+    """Query surface every load substrate provides.
 
-    ``Γ`` has shape ``(n1+1, n2+1)``; the load of the half-open rectangle
-    ``[r0, r1) × [c0, c1)`` is::
-
-        Γ[r1, c1] - Γ[r0, c1] - Γ[r1, c0] + Γ[r0, c0]
-
-    which is the half-open form of the formula in Section 2.1 of the paper.
+    Both :class:`PrefixSum2D` (dense ``Γ``) and
+    :class:`repro.core.sparse.SparsePrefix2D` (CSR prefixes) satisfy this
+    protocol; algorithms written against it run bit-identically on either
+    substrate.  ``n1``/``n2`` are the load-matrix dimensions.
     """
 
-    # __weakref__ lets repro.parallel.shm key exported shared-memory segments
-    # to the prefix's lifetime (weakref.finalize unlinks on collection)
-    __slots__ = ("G", "n1", "n2", "_cache", "_cache_default", "_max_el", "_T", "__weakref__")
+    n1: int
+    n2: int
 
-    def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
-        if is_prefix:
-            G = np.ascontiguousarray(A, dtype=np.int64)
-            if G.ndim != 2 or G[0, 0] != 0 or (G[0, :] != 0).any() or (G[:, 0] != 0).any():
-                raise ParameterError("2D prefix array must have a zero first row/column")
-        else:
-            A = as_load_matrix(A)
-            G = np.zeros((A.shape[0] + 1, A.shape[1] + 1), dtype=np.int64)
-            np.cumsum(A, axis=0, out=G[1:, 1:], dtype=np.int64)
-            np.cumsum(G[1:, 1:], axis=1, out=G[1:, 1:])
-        self.G = G
-        self.n1 = G.shape[0] - 1
-        self.n2 = G.shape[1] - 1
-        self._cache: LRUCache | None = None
-        self._cache_default: bool | None = None
-        self._max_el: int | None = None
-        self._T: "PrefixSum2D | None" = None
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    @property
+    def total(self) -> int: ...
+
+    @property
+    def nbytes(self) -> int: ...
+
+    def load(self, r0: int, r1: int, c0: int, c1: int) -> int: ...
+
+    def rect_loads(self, coords: np.ndarray) -> np.ndarray: ...
+
+    def axis_prefix(
+        self, axis: int, lo: int = 0, hi: int | None = None, *, reuse: bool | None = None
+    ) -> np.ndarray: ...
+
+    def band_prefix(
+        self, axis: int, lo: int, hi: int, j0: int, j1: int, *, reuse: bool | None = None
+    ) -> np.ndarray: ...
+
+    def boundary_list(
+        self, axis: int, lo: int = 0, hi: int | None = None, *, reuse: bool | None = None
+    ) -> list[int]: ...
+
+    def max_element(self) -> int: ...
+
+    def min_element(self) -> int: ...
+
+    def cells_dense(self) -> np.ndarray: ...
+
+    def transpose(self) -> "LoadView": ...
+
+
+class _ProjectionMemo:
+    """Adaptive per-instance memo for stripe projections and boundary lists.
+
+    Shared by both substrates: the memo logic only needs ``n1``/``n2``, the
+    ``_cache``/``_cache_default`` slots and the substrate's
+    ``_axis_prefix_ref`` reference query — the dispatch, keying, freezing
+    and op-counting are substrate-independent.
+    """
+
+    __slots__ = ()
+
+    # provided by the concrete substrate
+    n1: int
+    n2: int
+
+    def _axis_prefix_ref(self, axis: int, lo: int, hi: int | None) -> np.ndarray:
+        raise NotImplementedError
 
     def projection_cache(self) -> LRUCache:
         """The per-instance projection/boundary-list memo (created lazily)."""
@@ -162,32 +205,6 @@ class PrefixSum2D:
             self._cache_default = self.n1 * self.n2 >= cache_min_cells()
         return self._cache_default
 
-    @property
-    def shape(self) -> tuple[int, int]:
-        """Shape ``(n1, n2)`` of the underlying load matrix."""
-        return (self.n1, self.n2)
-
-    @property
-    def total(self) -> int:
-        """Total load of the matrix."""
-        return int(self.G[-1, -1])
-
-    def load(self, r0: int, r1: int, c0: int, c1: int) -> int:
-        """Load of the half-open rectangle ``[r0, r1) × [c0, c1)``."""
-        if _OPS:
-            bump("load_queries")
-        G = self.G
-        return int(G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0])
-
-    def _axis_prefix_ref(self, axis: int, lo: int, hi: int | None) -> np.ndarray:
-        if axis == 0:
-            hi = self.n2 if hi is None else hi
-            return self.G[:, hi] - self.G[:, lo]
-        elif axis == 1:
-            hi = self.n1 if hi is None else hi
-            return self.G[hi, :] - self.G[lo, :]
-        raise ParameterError(f"axis must be 0 or 1, got {axis}")
-
     def axis_prefix(
         self,
         axis: int,
@@ -204,7 +221,7 @@ class PrefixSum2D:
         make", the prefix differences suffice).  With the perf layer enabled
         the result is memoized per ``(axis, lo, hi)`` in a bounded LRU and
         returned *read-only*; otherwise it is a fresh array (one vectorized
-        subtraction of two views of ``Γ``).
+        subtraction of two views of ``Γ``, or a sparse stripe scatter).
 
         ``reuse`` controls memoization: ``True`` forces it (callers that
         revisit the same band many times, e.g. the exact-solver DPs),
@@ -310,6 +327,96 @@ class PrefixSum2D:
         cache.put(key, pl)
         return pl
 
+
+class PrefixSum2D(_ProjectionMemo):
+    """Two-dimensional prefix-sum array ``Γ`` with O(1) rectangle loads.
+
+    ``Γ`` has shape ``(n1+1, n2+1)``; the load of the half-open rectangle
+    ``[r0, r1) × [c0, c1)`` is::
+
+        Γ[r1, c1] - Γ[r0, c1] - Γ[r1, c0] + Γ[r0, c0]
+
+    which is the half-open form of the formula in Section 2.1 of the paper.
+    """
+
+    # __weakref__ lets repro.parallel.shm key exported shared-memory segments
+    # to the prefix's lifetime (weakref.finalize unlinks on collection)
+    __slots__ = (
+        "G",
+        "n1",
+        "n2",
+        "_cache",
+        "_cache_default",
+        "_max_el",
+        "_min_el",
+        "_T",
+        "__weakref__",
+    )
+
+    def __init__(self, A: np.ndarray, *, is_prefix: bool = False):
+        if is_prefix:
+            G = np.ascontiguousarray(A, dtype=np.int64)
+            if G.ndim != 2 or G[0, 0] != 0 or (G[0, :] != 0).any() or (G[:, 0] != 0).any():
+                raise ParameterError("2D prefix array must have a zero first row/column")
+        else:
+            A = as_load_matrix(A)
+            G = np.zeros((A.shape[0] + 1, A.shape[1] + 1), dtype=np.int64)
+            np.cumsum(A, axis=0, out=G[1:, 1:], dtype=np.int64)
+            np.cumsum(G[1:, 1:], axis=1, out=G[1:, 1:])
+        self.G = G
+        self.n1 = G.shape[0] - 1
+        self.n2 = G.shape[1] - 1
+        self._cache: LRUCache | None = None
+        self._cache_default: bool | None = None
+        self._max_el: int | None = None
+        self._min_el: int | None = None
+        self._T: "PrefixSum2D | None" = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape ``(n1, n2)`` of the underlying load matrix."""
+        return (self.n1, self.n2)
+
+    @property
+    def total(self) -> int:
+        """Total load of the matrix."""
+        return int(self.G[-1, -1])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the substrate (the dense ``Γ`` array)."""
+        return int(self.G.nbytes)
+
+    def load(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Load of the half-open rectangle ``[r0, r1) × [c0, c1)``."""
+        if _OPS:
+            bump("load_queries")
+        G = self.G
+        return int(G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0])
+
+    def rect_loads(self, coords: np.ndarray) -> np.ndarray:
+        """Loads of many rectangles at once — one vectorized 4-corner gather.
+
+        ``coords`` is an ``(k, 4)`` int array of ``r0, r1, c0, c1`` rows
+        (the layout of :meth:`repro.core.partition.Partition.coords`).
+        """
+        r0, r1, c0, c1 = coords.T
+        G = self.G
+        return G[r1, c1] - G[r0, c1] - G[r1, c0] + G[r0, c0]
+
+    def _axis_prefix_ref(self, axis: int, lo: int, hi: int | None) -> np.ndarray:
+        if axis == 0:
+            hi = self.n2 if hi is None else hi
+            return self.G[:, hi] - self.G[:, lo]
+        elif axis == 1:
+            hi = self.n1 if hi is None else hi
+            return self.G[hi, :] - self.G[lo, :]
+        raise ParameterError(f"axis must be 0 or 1, got {axis}")
+
+    def cells_dense(self) -> np.ndarray:
+        """The load matrix ``A`` reconstructed from ``Γ`` (O(n1·n2) memory)."""
+        return np.diff(np.diff(self.G, axis=0), axis=1)
+
     def max_element(self) -> int:
         """Largest single cell load (lower bound ``max A[x][y]`` of §2.1).
 
@@ -322,6 +429,17 @@ class PrefixSum2D:
             d = np.diff(np.diff(self.G, axis=0), axis=1)
             self._max_el = int(d.max()) if d.size else 0
         return self._max_el
+
+    def min_element(self) -> int:
+        """Smallest single cell load (the ``min A[x][y]`` of the Δ bound).
+
+        Cached like :meth:`max_element` — same double-diff temporary, same
+        repeated-bound-evaluation callers.
+        """
+        if self._min_el is None:
+            d = np.diff(np.diff(self.G, axis=0), axis=1)
+            self._min_el = int(d.min()) if d.size else 0
+        return self._min_el
 
     def transpose(self) -> "PrefixSum2D":
         """Prefix of the transposed matrix (for -VER algorithm variants).
@@ -369,15 +487,33 @@ class PrefixSum2D:
         T._cache = None
         T._cache_default = self._cache_default  # same n1·n2 cell count
         T._max_el = self._max_el  # same multiset of cell loads
+        T._min_el = self._min_el
         T._T = None
         return T
 
 
-MatrixLike = Union[np.ndarray, PrefixSum2D]
+MatrixLike = Union[np.ndarray, PrefixSum2D, "LoadView"]
 
 
-def prefix_2d(A: MatrixLike) -> PrefixSum2D:
-    """Coerce a raw matrix or an existing :class:`PrefixSum2D` to a prefix."""
+def prefix_2d(A: MatrixLike) -> "LoadView":
+    """Coerce a raw matrix or an existing substrate to a load substrate.
+
+    Existing substrates (dense :class:`PrefixSum2D` or any other
+    :class:`LoadView`, e.g. ``SparsePrefix2D``) pass through unchanged, so
+    callers that pre-build a sparse substrate keep it across the whole
+    solver stack.  Raw arrays densify into :class:`PrefixSum2D`; automatic
+    density dispatch lives in :func:`repro.core.sparse.auto_substrate` and
+    is opt-in at the instance-construction layer, not here — solver-internal
+    coercions must never silently change substrate.
+    """
     if isinstance(A, PrefixSum2D):
-        return A
-    return PrefixSum2D(A)
+        pref: "LoadView" = A
+    elif isinstance(A, np.ndarray):
+        pref = PrefixSum2D(A)
+    elif isinstance(A, LoadView):
+        pref = A
+    else:
+        pref = PrefixSum2D(A)
+    if _OPS:
+        gauge("substrate_bytes", pref.nbytes)
+    return pref

@@ -68,7 +68,7 @@ def save_ppm(
     img[owner < 0] = 0.0
     if A is not None:
         pref = prefix_2d(A)
-        cells = np.diff(np.diff(pref.G, axis=0), axis=1).astype(np.float64)
+        cells = pref.cells_dense().astype(np.float64)
         lo, hi = cells.min(), cells.max()
         shade = 0.35 + 0.65 * (cells - lo) / (hi - lo) if hi > lo else np.ones_like(cells)
         img = img * shade[..., None]

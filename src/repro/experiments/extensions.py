@@ -15,6 +15,10 @@
   leave out (exact methods, orientation variants, §3.4 spiral schemes) on a
   tiny common instance, so the RPL007 lint gate holds: no registered
   algorithm goes unmeasured.
+* :func:`ext6_spmv_sparse` — the intro's spmv use case ([1]–[3]) at the
+  profile's histogram resolution; at the ``large`` profile the instance
+  builds on the sparse CSR substrate straight from the edge stream (4096²,
+  never densified) — the substrate the tentpole exists for.
 
 All return :class:`~repro.experiments.harness.FigureResult` like the paper
 figures and are exercised by ``benchmarks/bench_ext_experiments.py``.
@@ -43,6 +47,7 @@ __all__ = [
     "ext3_stripe_autotuning",
     "ext4_volume_3d",
     "ext5_registry_coverage",
+    "ext6_spmv_sparse",
     "ALL_EXTENSIONS",
 ]
 
@@ -249,6 +254,40 @@ def ext5_registry_coverage(scale=None) -> FigureResult:
     return res
 
 
+def ext6_spmv_sparse(scale=None) -> FigureResult:
+    """All heuristics on the R-MAT spmv nonzero histogram vs m.
+
+    The intro's first application class (2D-decomposed sparse linear
+    algebra, refs [1]–[3]) at the profile's ``n_spmv`` blocking resolution.
+    At the ``large`` profile the 4096² histogram is built straight from the
+    edge stream onto the sparse CSR substrate
+    (:func:`repro.instances.spmv.spmv_sparse` — O(nnz) memory, digest-equal
+    to the densified instance, so raw-store cells transfer across
+    substrates); the other profiles densify as before.
+    """
+    sc = get_scale(scale)
+    if sc.name == "large":
+        from ..instances.spmv import spmv_sparse
+
+        pref = spmv_sparse(sc.n_spmv, model="rmat", seed=0)
+    else:
+        from ..instances.spmv import spmv_instance
+
+        pref = PrefixSum2D(spmv_instance(sc.n_spmv, model="rmat", seed=0))
+    res = FigureResult(
+        "ext6",
+        f"All heuristics on R-MAT spmv {sc.n_spmv}x{sc.n_spmv}",
+        "m",
+        "load imbalance",
+        notes=f"scale={sc.name}; §1 spmv use case (not a paper figure)",
+    )
+    dig = digest_prefix(pref)
+    for m in sc.m_values:
+        for name in HEURISTICS:
+            res.add(name, m, _imb_cell(sc.name, dig, name, m, pref))
+    return res
+
+
 #: extension id -> callable
 ALL_EXTENSIONS = {
     "ext1": ext1_comm_volume,
@@ -256,4 +295,5 @@ ALL_EXTENSIONS = {
     "ext3": ext3_stripe_autotuning,
     "ext4": ext4_volume_3d,
     "ext5": ext5_registry_coverage,
+    "ext6": ext6_spmv_sparse,
 }

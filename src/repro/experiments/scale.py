@@ -11,6 +11,10 @@ profile*:
   phenomenon (who wins, crossovers, waves); minutes for the full suite.
 * ``paper`` — the paper's matrix sizes, processor counts and snapshot
   cadence; hours for the full suite.
+* ``large`` — beyond-paper instance sizes (≥4096² spmv/mesh histograms)
+  reachable only through the sparse CSR substrate
+  (:mod:`repro.core.sparse`); the generators build from triplets and never
+  densify, so memory stays O(nnz).
 
 Select with the environment variable ``REPRO_SCALE=paper`` or explicitly via
 the ``scale=`` argument of the figure functions.
@@ -23,7 +27,7 @@ from dataclasses import dataclass
 from ..config import env_str
 from ..instances.pic import PICConfig
 
-__all__ = ["Scale", "TINY", "SMALL", "PAPER", "current_scale", "get_scale"]
+__all__ = ["Scale", "TINY", "SMALL", "PAPER", "LARGE", "current_scale", "get_scale"]
 
 
 def _squares(lo: int, hi: int, count: int) -> list[int]:
@@ -58,6 +62,7 @@ class Scale:
     m_fig9: int  # Fig 9 (paper: 800)
     fig9_stripes: tuple[int, ...]  # stripe counts swept in Fig 9
     n_slac: int  # Fig 14
+    n_spmv: int  # spmv histogram resolution (extension figures)
     #: number of random instances averaged for synthetic classes (paper: 10)
     seeds: int
     #: PIC-MAG dataset
@@ -84,6 +89,7 @@ TINY = Scale(
     m_fig9=12,
     fig9_stripes=(2, 3, 5, 8),
     n_slac=32,
+    n_spmv=48,
     seeds=2,
     pic=PICConfig(grid=24, particles=1200, seed=3),
     pic_period=100,
@@ -108,6 +114,7 @@ SMALL = Scale(
     m_fig9=200,
     fig9_stripes=tuple(range(2, 72, 4)),
     n_slac=256,
+    n_spmv=256,
     seeds=3,
     pic=PICConfig(grid=128, particles=30_000),
     pic_period=2_500,
@@ -132,6 +139,7 @@ PAPER = Scale(
     m_fig9=800,
     fig9_stripes=tuple(range(2, 302, 8)),
     n_slac=512,
+    n_spmv=512,
     seeds=10,
     pic=PICConfig(grid=512, particles=150_000, smooth=5, particle_load=22),
     pic_period=500,
@@ -143,7 +151,32 @@ PAPER = Scale(
     m_fig12=9216,
 )
 
-_PROFILES = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+LARGE = Scale(
+    name="large",
+    m_values=(16, 64, 256),
+    m_cap_pq_opt=256,
+    m_cap_m_opt=64,
+    n_peak=1024,
+    n_multipeak=512,
+    n_diagonal=4096,
+    n_uniform=512,
+    n_fig9=514,
+    m_fig9=800,
+    fig9_stripes=tuple(range(2, 302, 8)),
+    n_slac=4096,
+    n_spmv=4096,
+    seeds=3,
+    pic=PICConfig(grid=512, particles=150_000, smooth=5, particle_load=22),
+    pic_period=500,
+    pic_max_iteration=33_500,
+    pic_fig7_iteration=30_000,
+    pic_fig13_iteration=20_000,
+    m_fig8=6400,
+    m_fig11=400,
+    m_fig12=9216,
+)
+
+_PROFILES = {"tiny": TINY, "small": SMALL, "paper": PAPER, "large": LARGE}
 
 
 def current_scale() -> Scale:

@@ -14,7 +14,7 @@ import numpy as np
 from ...core.errors import ParameterError
 from .cavity import CavityConfig, cavity_vertices
 
-__all__ = ["project_vertices", "slac_instance"]
+__all__ = ["project_vertices", "project_vertices_sparse", "slac_instance", "slac_sparse"]
 
 
 def project_vertices(
@@ -52,9 +52,47 @@ def project_vertices(
     return H.astype(np.int64)
 
 
+def project_vertices_sparse(
+    vertices: np.ndarray,
+    n: int = 512,
+    *,
+    axes: tuple[int, int] = (0, 1),
+    n2: int | None = None,
+):
+    """Sparse-substrate twin of :func:`project_vertices` — never densifies.
+
+    Same edges, same binning (digest-equal to the densified projection):
+    the histogram runs as a triplet stream and the substrate builds via
+    :func:`repro.core.sparse.substrate_from_triplets`, so peak memory is
+    O(vertices + nnz) instead of O(n·n2).
+    """
+    from ...core.sparse import substrate_from_triplets
+    from ..spmv import hist2d_triplets
+
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise ParameterError("vertices must have shape (N, 3)")
+    n2 = n if n2 is None else n2
+    u = vertices[:, axes[0]]
+    v = vertices[:, axes[1]]
+    rows, cols, counts = hist2d_triplets(
+        u,
+        v,
+        (n, n2),
+        ((u.min(), u.max() + 1e-12), (v.min(), v.max() + 1e-12)),
+    )
+    return substrate_from_triplets(rows, cols, counts, (n, n2))
+
+
 def slac_instance(
     n: int = 512, config: CavityConfig | None = None
 ) -> np.ndarray:
     """The SLAC substitute at resolution ``n × n`` (sparse, contains zeros)."""
     verts = cavity_vertices(config)
     return project_vertices(verts, n)
+
+
+def slac_sparse(n: int = 512, config: CavityConfig | None = None):
+    """Sparse-substrate SLAC substitute — the ``large``-profile entry point."""
+    verts = cavity_vertices(config)
+    return project_vertices_sparse(verts, n)

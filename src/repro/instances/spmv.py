@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core.errors import ParameterError
 
-__all__ = ["spmv_instance", "rmat_edges"]
+__all__ = ["spmv_instance", "spmv_sparse", "rmat_edges", "hist2d_triplets"]
 
 
 def rmat_edges(
@@ -102,4 +102,88 @@ def spmv_instance(
         c = np.concatenate(cols)
         H, _, _ = np.histogram2d(r, c, bins=n, range=((0, size), (0, size)))
         return H.astype(np.int64)
+    raise ParameterError(f"unknown model {model!r}; choose 'rmat' or 'mesh'")
+
+
+def hist2d_triplets(
+    x: np.ndarray,
+    y: np.ndarray,
+    bins: int | tuple[int, int],
+    value_range: tuple[tuple[float, float], tuple[float, float]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets of the 2D histogram — bit-identical bins, O(points) memory.
+
+    Replicates ``np.histogram2d(x, y, bins, range)`` binning exactly (same
+    ``linspace`` edges, same right-side ``searchsorted``, same inclusive
+    rightmost edge, same out-of-range exclusion) but returns only the
+    *occupied* cells as ``(rows, cols, counts)`` instead of the dense
+    histogram array.  This is what lets the ``large`` profile build a
+    :class:`~repro.core.sparse.SparsePrefix2D` with the same digest as the
+    densified instance, without the O(bins²) allocation.
+    """
+    bx_n, by_n = (bins, bins) if isinstance(bins, int) else (int(bins[0]), int(bins[1]))
+    if bx_n <= 0 or by_n <= 0:
+        raise ParameterError("bins must be positive")
+    (x0, x1), (y0, y1) = value_range
+    xe = np.linspace(x0, x1, bx_n + 1)
+    ye = np.linspace(y0, y1, by_n + 1)
+    bx = np.searchsorted(xe, x, side="right")
+    by = np.searchsorted(ye, y, side="right")
+    # histogramdd folds points sitting exactly on the rightmost edge into
+    # the last bin; everything outside [lo, hi] is dropped
+    bx[np.asarray(x) == xe[-1]] -= 1
+    by[np.asarray(y) == ye[-1]] -= 1
+    ok = (bx >= 1) & (bx <= bx_n) & (by >= 1) & (by <= by_n)
+    keys = (bx[ok].astype(np.int64) - 1) * by_n + (by[ok].astype(np.int64) - 1)
+    uniq, counts = np.unique(keys, return_counts=True)
+    rows = uniq // by_n
+    cols = uniq - rows * by_n
+    return rows, cols, counts.astype(np.int64)
+
+
+def spmv_sparse(
+    n: int,
+    *,
+    model: str = "rmat",
+    scale: int = 14,
+    edge_factor: int = 8,
+    mesh_size: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+):
+    """Sparse-substrate twin of :func:`spmv_instance` — never densifies.
+
+    Same models, same parameters, same logical load matrix (digest-equal to
+    ``spmv_instance`` with identical arguments): the histogram runs as a
+    triplet stream through :func:`hist2d_triplets` and the substrate builds
+    via :func:`repro.core.sparse.substrate_from_triplets`, so peak memory is
+    O(edges + nnz) instead of O(n²).
+    """
+    from ..core.sparse import substrate_from_triplets
+
+    if n <= 0:
+        raise ParameterError("n must be positive")
+    key = model.lower()
+    if key == "rmat":
+        edges = rmat_edges(scale, edge_factor, seed=seed)
+        size = 1 << scale
+        rows, cols, counts = hist2d_triplets(
+            edges[:, 0], edges[:, 1], n, ((0, size), (0, size))
+        )
+        return substrate_from_triplets(rows, cols, counts, (n, n))
+    if key == "mesh":
+        k = mesh_size if mesh_size is not None else 256
+        size = k * k
+        idx = np.arange(size, dtype=np.int64)
+        i, j = idx // k, idx % k
+        r_parts = [idx]
+        c_parts = [idx]
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = i + di, j + dj
+            ok = (0 <= ni) & (ni < k) & (0 <= nj) & (nj < k)
+            r_parts.append(idx[ok])
+            c_parts.append((ni * k + nj)[ok])
+        r = np.concatenate(r_parts)
+        c = np.concatenate(c_parts)
+        rows, cols, counts = hist2d_triplets(r, c, n, ((0, size), (0, size)))
+        return substrate_from_triplets(rows, cols, counts, (n, n))
     raise ParameterError(f"unknown model {model!r}; choose 'rmat' or 'mesh'")

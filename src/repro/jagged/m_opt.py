@@ -66,7 +66,7 @@ def _stripe_min_parts(
     walk is long, which ``est`` predicts and ``cap`` does not.
     """
     if not perf_enabled():
-        return min_parts(pref.G[i, :] - pref.G[k, :], B, cap=cap)
+        return min_parts(pref.axis_prefix(1, k, i), B, cap=cap)
     if min(est, cap) >= _BATCH_MIN_PARTS:
         return min_parts_batch(pref.axis_prefix(1, k, i, reuse=True), B, cap=cap)
     return min_parts(pref.boundary_list(1, k, i, reuse=True), B, cap=cap)
@@ -417,11 +417,9 @@ def jag_m_opt_dp_bottleneck(pref: PrefixSum2D, m: int, *, limit: int = 1 << 22) 
         raise ParameterError(
             f"instance too large for the paper DP (n1²·m = {n1 * n1 * m} > {limit})"
         )
-    G = pref.G
-
     @lru_cache(maxsize=None)
     def oneD(k: int, i: int, x: int) -> int:
-        band = G[i, :] - G[k, :]
+        band = pref.axis_prefix(1, k, i)
         return bisect_bottleneck(band, x)
 
     @lru_cache(maxsize=None)

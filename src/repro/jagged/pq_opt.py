@@ -43,7 +43,7 @@ def _stripe_feasible(pref: PrefixSum2D, r0: int, r1: int, Q: int, B: int) -> boo
     """
     if perf_enabled():
         return min_parts(pref.boundary_list(1, r0, r1, reuse=True), B, cap=Q) <= Q
-    band = pref.G[r1, :] - pref.G[r0, :]
+    band = pref.axis_prefix(1, r0, r1)
     return min_parts(band, B, cap=Q) <= Q
 
 
@@ -109,7 +109,7 @@ def jag_pq_opt_bottleneck(
             stripe_cuts, col_cuts = jag_pq_heur_cuts(pref, P, Q)
             ub = 0
             for s in range(P):
-                band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
+                band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
                 cc = col_cuts[s]
                 ub = max(ub, int(np.max(band[cc[1:]] - band[cc[:-1]])))
             if state is not None:
@@ -142,12 +142,9 @@ def _jag_pq_opt_main0(
     assert stripe_cuts is not None
     col_cuts = []
     for s in range(P):
-        if perf_enabled():
-            # same values as the G-row difference, served from the cache the
-            # feasibility probes already populated for this stripe
-            band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
-        else:
-            band = pref.G[stripe_cuts[s + 1], :] - pref.G[stripe_cuts[s], :]
+        # with the perf layer on this is served from the cache the
+        # feasibility probes already populated for this stripe
+        band = pref.axis_prefix(1, int(stripe_cuts[s]), int(stripe_cuts[s + 1]))
         cc = probe_cuts(band, Q, B)
         assert cc is not None
         col_cuts.append(cc)
@@ -178,11 +175,9 @@ def jag_pq_opt_dp_bottleneck(
         raise ParameterError(
             f"instance too large for the paper DP (n1²·P = {n1 * n1 * P} > {limit})"
         )
-    G = pref.G
-
     @lru_cache(maxsize=None)
     def oneD(k: int, i: int) -> int:
-        band = G[i, :] - G[k, :]
+        band = pref.axis_prefix(1, k, i)
         return bisect_bottleneck(band, Q)
 
     @lru_cache(maxsize=None)

@@ -59,6 +59,11 @@ HOT_PACKAGES = frozenset(
 #: packages additionally covered by the interval-convention and mutation rules
 CORE_PACKAGES = HOT_PACKAGES | {"core"}
 
+#: individual modules outside the hot packages whose loops are nonetheless
+#: hot-path (path suffixes): the sparse substrate lives in ``core`` but its
+#: queries sit under every solver, so the hot-package rules cover it too
+HOT_MODULES = frozenset({"core/sparse.py"})
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+?|all)\s*(?:\s[-—#].*)?$"
 )
@@ -145,7 +150,14 @@ class Rule:
     scope: frozenset[str] | None = None
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return self.scope is None or bool(self.scope & ctx.package_parts())
+        if self.scope is None or bool(self.scope & ctx.package_parts()):
+            return True
+        # hot-package rules also cover the designated hot modules, wherever
+        # they live in the package tree
+        if self.scope & HOT_PACKAGES:
+            rel = ctx.rel.replace("\\", "/")
+            return any(rel.endswith(m) for m in HOT_MODULES)
+        return False
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError

@@ -56,7 +56,7 @@ EQUALITY_TEST_PATTERNS = ("test_*_equality.py", "test_sweep*.py")
 
 #: boolean switches that guard a fast path against its reference twin
 GUARD_NAMES = frozenset(
-    {"perf_enabled", "parallel_enabled", "effective_workers", "sweep_active"}
+    {"perf_enabled", "parallel_enabled", "effective_workers", "sweep_active", "sparse_enabled"}
 )
 
 #: dotted-target suffixes that denote the sweep-state accessor

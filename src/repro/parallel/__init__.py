@@ -32,10 +32,18 @@ from .config import (
     worker_count,
 )
 from .pool import get_pool, pmap, pmap_batched, pool_workers, shutdown_pool
-from .shm import PrefixHandle, attach_prefix, export_prefix, live_segments, release_all
+from .shm import (
+    PrefixHandle,
+    SparsePrefixHandle,
+    attach_prefix,
+    export_prefix,
+    live_segments,
+    release_all,
+)
 
 __all__ = [
     "PrefixHandle",
+    "SparsePrefixHandle",
     "attach_prefix",
     "effective_workers",
     "export_prefix",

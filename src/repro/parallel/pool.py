@@ -31,7 +31,7 @@ from contextlib import nullcontext
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence, TypeVar
 
-from ..perf.counters import OpCounters, bump, counting, op_counters
+from ..perf.counters import OpCounters, counting, merge_snapshot, op_counters
 from . import shm
 from .config import effective_workers
 
@@ -133,10 +133,13 @@ def pmap(fn: Callable[[Any], T], items: Sequence[Any]) -> list[T]:
 
 
 def _merge_ops(ops: OpCounters | None) -> None:
-    """Fold a worker's op-counter snapshot into the parent's open contexts."""
+    """Fold a worker's op-counter snapshot into the parent's open contexts.
+
+    Counters add across workers; gauges (``substrate_bytes``) keep the max —
+    see :func:`repro.perf.counters.merge_snapshot`.
+    """
     if ops:
-        for name, n in ops.items():
-            bump(name, n)
+        merge_snapshot(ops)
 
 
 def _batch_task(

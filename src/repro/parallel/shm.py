@@ -1,18 +1,27 @@
-"""Zero-copy sharing of :class:`~repro.core.prefix.PrefixSum2D` across processes.
+"""Zero-copy sharing of load substrates across processes.
 
-The paper's algorithms never touch the load matrix after the prefix array Γ
-is built — every probe is an O(1) int64 read (§2.1).  That makes Γ the one
-large, immutable input of every worker task, and pickling it per task would
-dwarf the work being shipped.  Instead the parent exports Γ once into a
-``multiprocessing.shared_memory`` segment; workers attach a *read-only*
-ndarray view over the same physical pages and rebuild a ``PrefixSum2D``
-around it with ``is_prefix=True`` — bit-identical queries, zero copies.
+The paper's algorithms never touch the load matrix after the prefix
+substrate is built — every probe is an O(1) int64 read (§2.1).  That makes
+the substrate the one large, immutable input of every worker task, and
+pickling it per task would dwarf the work being shipped.  Instead the
+parent exports it once into ``multiprocessing.shared_memory``; workers
+attach *read-only* ndarray views over the same physical pages and rebuild
+the substrate around them — bit-identical queries, zero copies.
+
+Two substrate kinds ship differently:
+
+* :class:`~repro.core.prefix.PrefixSum2D` exports Γ as one segment; workers
+  wrap it with ``is_prefix=True``.
+* :class:`~repro.core.sparse.SparsePrefix2D` exports its three canonical
+  CSR arrays (``indptr``, ``cols``, ``vals``) as three segments; workers
+  rebuild the derived prefixes locally in O(nnz) via ``_from_csr`` — still
+  no O(n1·n2) allocation anywhere.
 
 Lifecycle (the part that must not leak):
 
-* One segment per exported ``PrefixSum2D`` object, created on first
+* One segment group per exported substrate object, created on first
   :func:`export_prefix` and reused by later calls for the same object.
-* The segment is unlinked when the owning prefix is garbage-collected
+* Segments are unlinked when the owning substrate is garbage-collected
   (``weakref.finalize``), when :func:`release_all` runs (pool shutdown), or
   at interpreter exit (``atexit``) — whichever comes first.  Unlinking is
   idempotent.
@@ -33,13 +42,21 @@ import os
 import secrets
 import weakref
 from multiprocessing import shared_memory
-from typing import NamedTuple
+from typing import NamedTuple, Union
 
 import numpy as np
 
 from ..core.prefix import PrefixSum2D
+from ..core.sparse import SparsePrefix2D
 
-__all__ = ["PrefixHandle", "export_prefix", "attach_prefix", "release_all", "live_segments"]
+__all__ = [
+    "PrefixHandle",
+    "SparsePrefixHandle",
+    "export_prefix",
+    "attach_prefix",
+    "release_all",
+    "live_segments",
+]
 
 #: every segment this module creates carries this name prefix, so tests (and
 #: operators) can audit ``/dev/shm`` for leaks attributable to this layer
@@ -47,24 +64,36 @@ SEGMENT_PREFIX = "repro-pool-"
 
 _SEQ = itertools.count()
 
-#: parent side: id(pref) -> (segment name, finalizer); the finalizer owns the
-#: actual unlink and is reused by release_all/atexit so unlink happens once
-_EXPORTS: dict[int, tuple[str, weakref.finalize]] = {}
+#: parent side: id(pref) -> (segment names, finalizer, handle); the finalizer
+#: owns the actual unlink and is reused by release_all/atexit so unlink
+#: happens once per segment
+_EXPORTS: dict[int, tuple[tuple[str, ...], weakref.finalize, "AnyHandle"]] = {}
 
 #: parent side: segment name -> SharedMemory (kept open while exported)
 _SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 
-#: worker side: segment name -> (SharedMemory, attached PrefixSum2D); cached
-#: so repeated tasks against the same instance reuse one mapping (and one
-#: projection cache)
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, PrefixSum2D]] = {}
+#: worker side: first segment name -> (open segments, attached substrate);
+#: cached so repeated tasks against the same instance reuse one mapping (and
+#: one projection cache)
+_ATTACHED: dict[str, tuple[tuple[shared_memory.SharedMemory, ...], object]] = {}
 
 
 class PrefixHandle(NamedTuple):
-    """Small picklable reference to an exported prefix segment."""
+    """Small picklable reference to an exported dense-Γ segment."""
 
     name: str
     shape: tuple[int, int]  #: Γ's shape ``(n1+1, n2+1)``, dtype always int64
+
+
+class SparsePrefixHandle(NamedTuple):
+    """Picklable reference to the three CSR segments of a sparse substrate."""
+
+    names: tuple[str, str, str]  #: indptr, cols, vals segment names
+    shape: tuple[int, int]  #: logical matrix shape ``(n1, n2)``
+    nnz: int  #: stored nonzeros (lengths of cols/vals), dtype always int64
+
+
+AnyHandle = Union[PrefixHandle, SparsePrefixHandle]
 
 
 def _unlink_segment(name: str) -> None:
@@ -79,32 +108,63 @@ def _unlink_segment(name: str) -> None:
         pass
 
 
-def export_prefix(pref: PrefixSum2D) -> PrefixHandle:
-    """Export ``pref``'s Γ into shared memory; repeated calls reuse the segment.
+def _unlink_many(names: tuple[str, ...]) -> None:
+    """Unlink a whole segment group (the finalizer payload)."""
+    for name in names:
+        _unlink_segment(name)
 
-    The segment lives until the prefix object is garbage-collected or
+
+def _export_array(arr: np.ndarray) -> str:
+    """Copy one int64 array into a fresh named segment; returns its name.
+
+    The caller owns failure handling *across* arrays of a group; within one
+    array, a failed copy unlinks the just-created segment before the
+    exception escapes (a kernel object with no registered cleanup would
+    otherwise leak for the process lifetime).
+    """
+    name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(2)}"  # repro-lint: disable=RPL010 — entropy names the segment only; partition results never depend on it
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, arr.nbytes))
+    try:
+        if arr.size:
+            view = np.ndarray(arr.shape, dtype=np.int64, buffer=seg.buf)
+            view[:] = arr
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    _SEGMENTS[name] = seg
+    return name
+
+
+def export_prefix(pref: Union[PrefixSum2D, SparsePrefix2D]) -> AnyHandle:
+    """Export a substrate into shared memory; repeated calls reuse the segments.
+
+    The segments live until the substrate object is garbage-collected or
     :func:`release_all` runs.
     """
     key = id(pref)
     entry = _EXPORTS.get(key)
     if entry is not None and entry[1].alive:
-        return PrefixHandle(entry[0], pref.G.shape)
-    name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_SEQ)}-{secrets.token_hex(2)}"  # repro-lint: disable=RPL010 — entropy names the segment only; partition results never depend on it
-    seg = shared_memory.SharedMemory(name=name, create=True, size=pref.G.nbytes)
-    try:
-        view = np.ndarray(pref.G.shape, dtype=np.int64, buffer=seg.buf)
-        view[:] = pref.G
-    except BaseException:
-        # the segment is a kernel object: if the copy dies before the
-        # registration below, nothing would ever unlink it
-        seg.close()
-        seg.unlink()
-        raise
-    _SEGMENTS[name] = seg
-    fin = weakref.finalize(pref, _unlink_segment, name)
+        return entry[2]
+    if isinstance(pref, PrefixSum2D):
+        names: tuple[str, ...] = (_export_array(pref.G),)
+        handle: AnyHandle = PrefixHandle(names[0], pref.G.shape)
+    else:
+        done: list[str] = []
+        try:
+            for arr in (pref.indptr, pref.cols, pref.vals):
+                done.append(_export_array(arr))
+        except BaseException:
+            _unlink_many(tuple(done))  # partial group: unlink what exists
+            raise
+        names = tuple(done)
+        handle = SparsePrefixHandle(
+            (names[0], names[1], names[2]), pref.shape, pref.nnz
+        )
+    fin = weakref.finalize(pref, _unlink_many, names)
     fin.atexit = False  # release_all's atexit hook covers interpreter exit
-    _EXPORTS[key] = (name, fin)
-    return PrefixHandle(name, pref.G.shape)
+    _EXPORTS[key] = (names, fin, handle)
+    return handle
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -127,28 +187,42 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = orig
 
 
-def attach_prefix(handle: PrefixHandle) -> PrefixSum2D:
-    """Worker side: map the exported Γ and wrap it in a ``PrefixSum2D``.
+def attach_prefix(handle: AnyHandle) -> Union[PrefixSum2D, SparsePrefix2D]:
+    """Worker side: map the exported segments and rebuild the substrate.
 
-    The returned prefix is backed directly by the shared pages (read-only);
-    attachments are cached per segment for the worker's lifetime.
+    The returned substrate is backed directly by the shared pages
+    (read-only); attachments are cached per segment group for the worker's
+    lifetime.  Sparse attaches rebuild only the derived O(nnz) arrays
+    locally — the three CSR arrays stay zero-copy.
     """
-    cached = _ATTACHED.get(handle.name)
+    first = handle.name if isinstance(handle, PrefixHandle) else handle.names[0]
+    cached = _ATTACHED.get(first)
     if cached is not None:
-        return cached[1]
-    seg = _attach_untracked(handle.name)
-    G = np.ndarray(handle.shape, dtype=np.int64, buffer=seg.buf)
-    G.flags.writeable = False
-    pref = PrefixSum2D(G, is_prefix=True)
-    _ATTACHED[handle.name] = (seg, pref)
+        return cached[1]  # type: ignore[return-value]
+    if isinstance(handle, PrefixHandle):
+        seg = _attach_untracked(handle.name)
+        G = np.ndarray(handle.shape, dtype=np.int64, buffer=seg.buf)
+        G.flags.writeable = False
+        pref: Union[PrefixSum2D, SparsePrefix2D] = PrefixSum2D(G, is_prefix=True)
+        _ATTACHED[first] = ((seg,), pref)
+        return pref
+    n1, _n2 = handle.shape
+    segs = tuple(_attach_untracked(name) for name in handle.names)
+    indptr = np.ndarray(n1 + 1, dtype=np.int64, buffer=segs[0].buf)
+    cols = np.ndarray(handle.nnz, dtype=np.int64, buffer=segs[1].buf)
+    vals = np.ndarray(handle.nnz, dtype=np.int64, buffer=segs[2].buf)
+    for arr in (indptr, cols, vals):
+        arr.flags.writeable = False
+    pref = SparsePrefix2D._from_csr(indptr, cols, vals, handle.shape)
+    _ATTACHED[first] = (segs, pref)
     return pref
 
 
 def release_all() -> None:
     """Unlink every live export (pool shutdown / interpreter exit path)."""
-    for key, (name, fin) in list(_EXPORTS.items()):
-        fin.detach()  # the prefix may still be alive; unlink explicitly
-        _unlink_segment(name)
+    for key, (names, fin, _handle) in list(_EXPORTS.items()):
+        fin.detach()  # the substrate may still be alive; unlink explicitly
+        _unlink_many(names)
         _EXPORTS.pop(key, None)
 
 

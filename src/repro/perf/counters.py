@@ -33,6 +33,9 @@ Counter names used across the repo:
 ``proj_queries`` / ``proj_hits``
     Stripe-projection / boundary-list requests and how many were served
     from the :class:`~repro.perf.cache.LRUCache`.
+``substrate_bytes``
+    Resident bytes of the largest load substrate (dense ``Γ`` or CSR
+    arrays) a call touched — a *gauge* (max), not an event count.
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["OpCounters", "op_counters", "counting", "bump"]
+__all__ = ["OpCounters", "op_counters", "counting", "bump", "gauge", "merge_snapshot"]
 
 
 class OpCounters(Dict[str, int]):
@@ -68,6 +71,38 @@ def bump(name: str, n: int = 1) -> None:
     """Add ``n`` to counter ``name`` in every open context."""
     for c in _STACK:
         c[name] = c.get(name, 0) + n
+
+
+def gauge(name: str, value: int) -> None:
+    """Record a high-water mark: keep the max of ``value`` per open context.
+
+    Counters are additive; gauges are not — re-touching the same substrate
+    twice must not double its reported memory.  Each open context keeps the
+    largest value it has seen under ``name``.
+    """
+    for c in _STACK:
+        if value > c.get(name, 0):
+            c[name] = value
+
+
+#: Names recorded via :func:`gauge`.  A snapshot travelling back from a
+#: worker process carries plain ints, so the merge side needs this list to
+#: know which entries fold with max rather than sum.
+GAUGE_NAMES = frozenset({"substrate_bytes"})
+
+
+def merge_snapshot(ops: Dict[str, int]) -> None:
+    """Fold a snapshot from another context/process into every open context.
+
+    Counter entries add; entries named in :data:`GAUGE_NAMES` keep the max,
+    so N workers touching the same substrate report its size once, exactly
+    as the serial loop would.
+    """
+    for name, n in ops.items():
+        if name in GAUGE_NAMES:
+            gauge(name, n)
+        else:
+            bump(name, n)
 
 
 @contextmanager

@@ -15,10 +15,22 @@ def grid_bottleneck(
     pref: PrefixSum2D, row_cuts: np.ndarray, col_cuts: np.ndarray
 ) -> int:
     """Max block load of the ``P×Q`` grid — fully vectorized over blocks."""
-    G = pref.G
-    sub = G[np.ix_(row_cuts, col_cuts)]
-    blocks = sub[1:, 1:] - sub[:-1, 1:] - sub[1:, :-1] + sub[:-1, :-1]
-    return int(blocks.max()) if blocks.size else 0
+    G = getattr(pref, "G", None)
+    if G is not None:
+        sub = G[np.ix_(row_cuts, col_cuts)]
+        blocks = sub[1:, 1:] - sub[:-1, 1:] - sub[1:, :-1] + sub[:-1, :-1]
+        return int(blocks.max()) if blocks.size else 0
+    # sparse substrate: one stripe projection per row band, gathered at the
+    # column cuts — touches only the nnz inside each stripe
+    cuts = np.asarray(col_cuts, dtype=np.int64)
+    best = 0
+    for p in range(len(row_cuts) - 1):
+        band = pref.axis_prefix(1, int(row_cuts[p]), int(row_cuts[p + 1]))
+        at_cuts = band[cuts]
+        blocks = at_cuts[1:] - at_cuts[:-1]
+        if blocks.size:
+            best = max(best, int(blocks.max()))
+    return best
 
 
 def build_rectilinear_partition(

@@ -41,10 +41,20 @@ def _stripe_matrix(pref: PrefixSum2D, cuts: np.ndarray, axis: int) -> np.ndarray
     ``cuts``; row ``s`` of the result is the prefix of the free dimension
     restricted to stripe ``s``.  One fancy-indexing subtraction on Γ.
     """
-    G = pref.G
-    if axis == 0:
-        return G[cuts[1:], :] - G[cuts[:-1], :]
-    return (G[:, cuts[1:]] - G[:, cuts[:-1]]).T
+    G = getattr(pref, "G", None)
+    if G is not None:
+        if axis == 0:
+            return G[cuts[1:], :] - G[cuts[:-1], :]
+        return (G[:, cuts[1:]] - G[:, cuts[:-1]]).T
+    # sparse substrate: one stripe projection per band (axis 0 stripes
+    # project onto axis 1 and vice versa), identical values to the dense
+    # fancy-indexing subtraction above
+    return np.stack(
+        [
+            pref.axis_prefix(1 - axis, int(cuts[s]), int(cuts[s + 1]))
+            for s in range(len(cuts) - 1)
+        ]
+    )
 
 
 def _validated_cuts(cuts, n: int, parts: int, what: str) -> np.ndarray:

@@ -95,8 +95,13 @@ def instance_digest(pref: PrefixSum2D) -> tuple[str, int]:
     """``(digest, scale)`` of a prefix's underlying load matrix.
 
     Recovers the load matrix from the inclusive prefix grid and hashes its
-    primitive form via :func:`matrix_digest`.
+    primitive form via :func:`matrix_digest`.  A sparse substrate digests
+    itself (streamed dense row blocks, never the full array) to the *same*
+    value — warm facts transfer across substrates for one logical matrix.
     """
+    digest = getattr(pref, "matrix_digest", None)
+    if digest is not None:
+        return digest()
     return matrix_digest(np.diff(np.diff(pref.G, axis=0), axis=1))
 
 

@@ -17,7 +17,7 @@ import math
 import numpy as np
 
 from ..core.errors import ParameterError
-from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
+from ..core.prefix import LoadView, MatrixLike, PrefixSum2D, prefix_2d
 
 __all__ = [
     "delta_of",
@@ -33,14 +33,16 @@ __all__ = [
 
 def delta_of(A: MatrixLike) -> float:
     """Element ratio ``Δ = max / min`` of a zero-free load matrix."""
-    if isinstance(A, PrefixSum2D):
-        cells = np.diff(np.diff(A.G, axis=0), axis=1)
+    if isinstance(A, (PrefixSum2D, LoadView)):
+        mn = A.min_element()
+        mx = A.max_element()
     else:
         cells = np.asarray(A)
-    mn = cells.min()
+        mn = cells.min()
+        mx = cells.max()
     if mn <= 0:
         raise ParameterError("Δ is undefined for matrices containing zeros (§4.1)")
-    return float(cells.max() / mn)
+    return float(mx / mn)
 
 
 def lemma1_dc_bound(total: int, m: int, n: int, delta: float) -> float:
