@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint lint-fast lint-sarif ruff mypy test figures figures-smoke bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-figures bench-figures-smoke bench-sparse bench-sparse-smoke bench-check-identity
+.PHONY: check lint lint-fast lint-sarif ruff mypy test figures figures-smoke bench-json bench-smoke bench-kernels bench-kernels-smoke bench-parallel bench-parallel-smoke bench-sweep bench-sweep-smoke bench-figures bench-figures-smoke bench-sparse bench-sparse-smoke bench-dynamic bench-dynamic-smoke bench-check-identity
 
 check: ruff mypy lint test
 	@echo "make check: all gates passed"
@@ -111,6 +111,16 @@ bench-sparse:
 
 bench-sparse-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --sparse --profile tiny
+
+# dynamic family: repartitioning policies over the PIC snapshot stream
+# (determinism + legacy-knob identity) plus warm-started per-snapshot
+# solves from a persistent sweep store (seed / op-drop / bit-identity
+# gates); writes BENCH_dynamic.json
+bench-dynamic:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --dynamic
+
+bench-dynamic-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_regress.py --dynamic --profile tiny
 
 # committed-baseline gate: fail on any `identical: false` in BENCH_*.json
 bench-check-identity:

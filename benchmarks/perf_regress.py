@@ -76,6 +76,20 @@ raw-store cell runs end-to-end (cold compute, then warm hit) on the sparse
 substrate.  ``BENCH_sparse.json`` is written.  Run via ``make bench-sparse``
 / ``make bench-sparse-smoke``.
 
+``--dynamic`` runs the *dynamic* family instead: every repartitioning
+policy of :mod:`repro.dynamic.policies` drives the BSP simulator over the
+PIC-MAG snapshot stream (scenario driver
+:meth:`repro.instances.pic.PICMagDataset.stream`), gated on run-to-run
+determinism and on the extracted ``EveryK`` policy matching the legacy
+``repartition_every`` knob bit-for-bit.  A second phase runs the
+``WarmStarted`` policy with JAG-M-OPT against a persistent
+:class:`repro.sweep.SweepStore`: cold, populate, then warm-from-disk —
+gated on the warm run seeding from the store (``store_seeded > 0``), its
+deterministic op count dropping below the populate run, and every
+per-snapshot partition staying bit-identical to cold.
+``BENCH_dynamic.json`` is written.  Run via ``make bench-dynamic`` /
+``make bench-dynamic-smoke``.
+
 ``--check-identity`` re-scans every committed ``BENCH_*.json`` at the repo
 root and exits non-zero if any row anywhere records ``identical: false`` —
 the cheap CI gate that a stale or hand-edited baseline cannot sneak a
@@ -1292,6 +1306,203 @@ def run_sparse(profile: str, out_path: Path) -> int:
 
 
 # ---------------------------------------------------------------------------
+# dynamic family: repartitioning policies over a PIC snapshot stream
+
+
+def _dynamic_stream(tiny: bool):
+    """(scale, [(iteration, PrefixSum2D), ...]) of the PIC scenario driver."""
+    from repro.experiments.scale import get_scale
+    from repro.instances.pic import PICMagDataset
+
+    sc = get_scale("tiny" if tiny else "small")
+    ds = PICMagDataset(
+        sc.pic, period=sc.pic_period, max_iteration=sc.pic_max_iteration
+    )
+    return sc, list(ds.stream())
+
+
+def _counting_partitioner(solver):
+    """Wrap a solver; records per-call wall seconds and rectangle keys."""
+    seconds: list[float] = []
+    rects: list[Any] = []
+
+    def run(pref, m):
+        t0 = time.perf_counter()
+        part = solver(pref, m)
+        seconds.append(time.perf_counter() - t0)
+        rects.append(_rects_key(part))
+        return part
+
+    return run, seconds, rects
+
+
+def run_dynamic(profile: str, out_path: Path) -> int:
+    """Policy comparison + warm-started solve gates over the PIC stream."""
+    import tempfile
+
+    from repro.dynamic import (
+        EveryK,
+        ImbalanceTriggered,
+        IncrementalJagged,
+        MigrationBudgeted,
+        WarmStarted,
+    )
+    from repro.perf.counters import op_counters
+    from repro.runtime import BSPSimulator
+    from repro.sweep import SweepStore
+
+    tiny = profile == "tiny"
+    sc, snaps = _dynamic_stream(tiny)
+    m = sc.m_fig11
+    failures: list[str] = []
+
+    def heur(pref, m):
+        return partition_2d(pref, m, "JAG-M-HEUR")
+
+    # -- phase 1: policy comparison, gated on determinism and on the
+    # extracted EveryK matching the legacy repartition_every knob ----------
+    legacy = BSPSimulator(m, heur, repartition_every=1).run(
+        snaps, steps_per_snapshot=sc.pic_period
+    )
+    policy_rows = []
+    policies = [
+        ("every-1", lambda: EveryK(1)),
+        ("static", lambda: EveryK(0)),
+        ("imbalance-0.1", lambda: ImbalanceTriggered(0.1)),
+        ("budgeted-h5", lambda: MigrationBudgeted()),
+        ("incremental-0.1", lambda: IncrementalJagged(m, threshold=0.1)),
+    ]
+    for pname, make in policies:
+        runs = []
+        for _ in range(2):  # two full runs: the determinism gate
+            solver, solve_s, _rects = _counting_partitioner(heur)
+            t0 = time.perf_counter()
+            rep = BSPSimulator(m, solver, policy=make()).run(
+                snaps, steps_per_snapshot=sc.pic_period
+            )
+            wall = time.perf_counter() - t0
+            runs.append((rep, solve_s, wall))
+        (rep, solve_s, wall), (rep2, _, _) = runs
+        deterministic = rep.steps == rep2.steps
+        identical = deterministic
+        if pname == "every-1":
+            identical = identical and rep.steps == legacy.steps
+            if rep.steps != legacy.steps:
+                failures.append("policy/every-1 (legacy mismatch)")
+        if not deterministic:
+            failures.append(f"policy/{pname} (non-deterministic)")
+        policy_rows.append(
+            {
+                "name": f"policy/{pname}",
+                "policy": pname,
+                "m": m,
+                "snapshots": len(snaps),
+                "sim_total_s": rep.total_time,
+                "sim_compute_s": rep.compute_time,
+                "sim_comm_s": rep.comm_time,
+                "sim_migration_s": rep.migration_time,
+                "repartitions": rep.repartitions,
+                "mean_imbalance": rep.mean_imbalance,
+                "solves": len(solve_s),
+                "solver_wall_s": round(sum(solve_s), 6),
+                "wall_s": round(wall, 6),
+                "identical": identical,
+            }
+        )
+        print(
+            f"policy/{pname:16s} sim {rep.total_time:10.3f}s  "
+            f"repart {rep.repartitions:3d}/{len(snaps)}  "
+            f"solves {len(solve_s):3d}  wall {wall * 1e3:8.1f}ms  "
+            f"{'ok' if identical else 'MISMATCH'}"
+        )
+
+    # -- phase 2: warm-started solves over a persistent sweep store -------
+    # the same stream is run three times with JAG-M-OPT: cold (no engine),
+    # populating a fresh store, then warm from disk.  Gates: the warm run
+    # seeds from the store (hits > 0), its op count drops below the populate
+    # run (deterministic), and every per-snapshot partition is bit-identical
+    # across all three runs.
+    m_warm = 6 if tiny else 16
+
+    def opt(pref, mm):
+        return partition_2d(pref, mm, "JAG-M-OPT")
+
+    warm_doc: dict[str, Any]
+    with use_perf(True), tempfile.TemporaryDirectory() as tmp:
+        spath = Path(tmp) / "dynamic-store.json"
+
+        solver, cold_s, cold_rects = _counting_partitioner(opt)
+        with op_counters() as ops:
+            BSPSimulator(m_warm, solver).run(snaps)
+        cold_ops = sum(ops.values())
+
+        solver, pop_s, pop_rects = _counting_partitioner(opt)
+        with op_counters() as ops:
+            BSPSimulator(
+                m_warm, solver, policy=WarmStarted(store=SweepStore(spath))
+            ).run(snaps)
+        pop_ops = sum(ops.values())
+
+        store = SweepStore(spath)  # fresh object: counts this run's seeding
+        solver, warm_s, warm_rects = _counting_partitioner(opt)
+        with op_counters() as ops:
+            BSPSimulator(m_warm, solver, policy=WarmStarted(store=store)).run(
+                snaps
+            )
+        warm_ops = sum(ops.values())
+
+        identical = cold_rects == pop_rects == warm_rects
+        if not identical:
+            failures.append("warm/rects (not bit-identical to cold)")
+        if store.seeded == 0:
+            failures.append("warm/store (no seeded instances on warm run)")
+        if not warm_ops < pop_ops:
+            failures.append("warm/ops (no op-count drop on warm run)")
+        warm_doc = {
+            "name": f"warm/JAG-M-OPT/m={m_warm}",
+            "algo": "JAG-M-OPT",
+            "m": m_warm,
+            "snapshots": len(snaps),
+            "store_seeded": store.seeded,
+            "cold_ops": cold_ops,
+            "populate_ops": pop_ops,
+            "warm_ops": warm_ops,
+            "cold_solver_s": round(sum(cold_s), 6),
+            "populate_solver_s": round(sum(pop_s), 6),
+            "warm_solver_s": round(sum(warm_s), 6),
+            "per_snapshot_cold_s": [round(t, 6) for t in cold_s],
+            "per_snapshot_warm_s": [round(t, 6) for t in warm_s],
+            "identical": identical
+            and store.seeded > 0
+            and warm_ops < pop_ops,
+        }
+        print(
+            f"warm/JAG-M-OPT/m={m_warm}  seeded {store.seeded}  "
+            f"ops {pop_ops} -> {warm_ops}  solver "
+            f"{sum(pop_s) * 1e3:8.1f}ms -> {sum(warm_s) * 1e3:8.1f}ms  "
+            f"{'ok' if warm_doc['identical'] else 'MISMATCH'}"
+        )
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/perf_regress.py --dynamic",
+        "profile": profile,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "policies": policy_rows,
+        "warm": warm_doc,
+        "all_identical": not failures,
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # committed-baseline identity gate
 
 
@@ -1452,6 +1663,14 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical queries and partitions across substrates",
     )
     ap.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="run the dynamic family instead: repartitioning policies over "
+        "the PIC snapshot stream (determinism + legacy-knob identity gates) "
+        "plus warm-started per-snapshot solves from a persistent sweep store "
+        "(seed/op-drop/bit-identity gates)",
+    )
+    ap.add_argument(
         "--check-identity",
         action="store_true",
         help="scan committed BENCH_*.json baselines and fail on any "
@@ -1460,6 +1679,9 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     if args.check_identity:
         return check_identity()
+    if args.dynamic:
+        out = args.out or REPO_ROOT / "BENCH_dynamic.json"
+        return run_dynamic(args.profile, out)
     if args.sparse:
         out = args.out or REPO_ROOT / "BENCH_sparse.json"
         return run_sparse(args.profile, out)

@@ -112,13 +112,27 @@ def migration_volume(
     Computed exactly from rectangle intersections: processor ``i`` keeps the
     load of ``old[i] ∩ new[i]``; everything else migrates.  This is the data
     (re)migration cost of dynamic applications discussed in Section 5.
+
+    ``A`` may be a raw matrix or any prebuilt
+    :class:`~repro.core.prefix.LoadView` substrate — substrates are used
+    as-is, never re-densified.  Both partitions must address the same
+    processor set: a differing ``m`` raises :class:`ValueError` (owner
+    identity is positional, so truncating to ``min(old.m, new.m)`` would
+    silently misaccount the dropped processors' load; pad with empty
+    rectangles — e.g. ``build_jagged_partition(..., pad_to=m)`` — to compare
+    partitions produced for different processor counts).
     """
     if old.shape != new.shape:
         raise ValueError("partitions cover different matrices")
+    if old.m != new.m:
+        raise ValueError(
+            f"partitions address different processor counts "
+            f"(old.m={old.m}, new.m={new.m}); pad the smaller one with "
+            f"empty rectangles to compare"
+        )
     pref = prefix_2d(A)
-    m = min(old.m, new.m)
     kept = 0
-    for i in range(m):
+    for i in range(old.m):
         inter = old.rects[i].intersect(new.rects[i])
         if inter is not None:
             kept += pref.load(inter.r0, inter.r1, inter.c0, inter.c1)

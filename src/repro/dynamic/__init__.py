@@ -1,5 +1,24 @@
 """Dynamic repartitioning with migration awareness (§5 future work)."""
 
 from .incremental import IncrementalJagged, refine_jagged
+from .policies import (
+    EveryK,
+    ImbalanceTriggered,
+    MigrationBudgeted,
+    RepartitionPolicy,
+    StepContext,
+    WarmStarted,
+    drift_exceeds,
+)
 
-__all__ = ["IncrementalJagged", "refine_jagged"]
+__all__ = [
+    "IncrementalJagged",
+    "refine_jagged",
+    "RepartitionPolicy",
+    "StepContext",
+    "EveryK",
+    "ImbalanceTriggered",
+    "MigrationBudgeted",
+    "WarmStarted",
+    "drift_exceeds",
+]

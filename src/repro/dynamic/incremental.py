@@ -31,6 +31,7 @@ from ..core.prefix import MatrixLike, PrefixSum2D, prefix_2d
 from ..jagged.common import build_jagged_partition
 from ..jagged.m_heur import jag_m_heur
 from ..oned.api import ONED_METHODS
+from .policies import RepartitionPolicy, StepContext, drift_exceeds
 
 __all__ = ["IncrementalJagged", "refine_jagged"]
 
@@ -74,8 +75,21 @@ def refine_jagged(
     return part
 
 
-class IncrementalJagged:
+class IncrementalJagged(RepartitionPolicy):
     """Stateful repartitioner: refine cheaply, rebuild only when drifted.
+
+    Also a :class:`~repro.dynamic.policies.RepartitionPolicy`: it produces a
+    (refined or rebuilt) partition on *every* snapshot, so plugged into
+    :class:`repro.runtime.BSPSimulator` via ``policy=`` its
+    ``should_repartition`` is always true and ``solve`` runs :meth:`step`.
+    The legacy :meth:`partitioner` adapter remains for the
+    ``partitioner=``-argument route.
+
+    The full-vs-refine decision compares exact integer loads through
+    :func:`~repro.dynamic.policies.drift_exceeds` — the earlier float form
+    ``refined > (1.0 + threshold) * fresh`` double-rounds and flips
+    decisions once loads near 2^62 (regression pinned in
+    ``tests/test_dynamic.py``).
 
     Parameters
     ----------
@@ -100,6 +114,7 @@ class IncrementalJagged:
         self.current: Partition | None = None
         self.full_repartitions = 0
         self.refinements = 0
+        self.name = f"incremental-{threshold:g}"
 
     def _fresh(self, pref: PrefixSum2D) -> Partition:
         part = jag_m_heur(pref, self.m, oned=self.oned)
@@ -116,13 +131,33 @@ class IncrementalJagged:
             return self.current
         refined = refine_jagged(self.current, pref, oned=self.oned)
         fresh = self._fresh(pref)
-        if refined.max_load(pref) > (1.0 + self.threshold) * fresh.max_load(pref):
+        # exact rational comparison: the float form double-rounds near 2^62
+        if drift_exceeds(
+            refined.max_load(pref), fresh.max_load(pref), self.threshold
+        ):
             self.current = fresh
             self.full_repartitions += 1
         else:
             self.current = refined
             self.refinements += 1
         return self.current
+
+    # ------------------------------------------------------------------
+    # RepartitionPolicy protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop the held partition and counters (fresh simulated run)."""
+        self.current = None
+        self.full_repartitions = 0
+        self.refinements = 0
+
+    def should_repartition(self, ctx: StepContext) -> bool:
+        return True  # every snapshot gets a refined (or rebuilt) partition
+
+    def solve(self, partitioner, ctx: StepContext) -> Partition:
+        if ctx.m != self.m:
+            raise ParameterError(f"simulator m={ctx.m} != strategy m={self.m}")
+        return self.step(ctx.pref)
 
     def partitioner(self):
         """Adapter: ``(PrefixSum2D, m) -> Partition`` for the BSP simulator."""

@@ -19,6 +19,11 @@
   profile's histogram resolution; at the ``large`` profile the instance
   builds on the sparse CSR substrate straight from the edge stream (4096²,
   never densified) — the substrate the tentpole exists for.
+* :func:`ext7_policy_comparison` — "integrate the proposed algorithms in a
+  real dynamic application and study their end-to-end effects": cumulative
+  simulated BSP time (compute + communication + migration) of the
+  repartitioning policies of :mod:`repro.dynamic.policies` over the PIC-MAG
+  run.
 
 All return :class:`~repro.experiments.harness.FigureResult` like the paper
 figures and are exercised by ``benchmarks/bench_ext_experiments.py``.
@@ -31,9 +36,15 @@ import numpy as np
 from ..core.metrics import communication_volume, migration_volume
 from ..core.prefix import PrefixSum2D
 from ..core.registry import ALGORITHMS
-from ..dynamic import IncrementalJagged
+from ..dynamic import (
+    EveryK,
+    ImbalanceTriggered,
+    IncrementalJagged,
+    MigrationBudgeted,
+)
 from ..instances import peak
 from ..jagged.m_heur import jag_m_heur
+from ..runtime import BSPSimulator
 from ..volume import PrefixSum3D, vol_hier_rb, vol_jag_m_heur, vol_uniform
 from .figures import HEURISTICS, _imb_cell, _pic_dataset
 from .harness import FigureResult
@@ -48,6 +59,7 @@ __all__ = [
     "ext4_volume_3d",
     "ext5_registry_coverage",
     "ext6_spmv_sparse",
+    "ext7_policy_comparison",
     "ALL_EXTENSIONS",
 ]
 
@@ -288,6 +300,66 @@ def ext6_spmv_sparse(scale=None) -> FigureResult:
     return res
 
 
+def ext7_policy_comparison(scale=None) -> FigureResult:
+    """End-to-end simulated BSP cost of the repartitioning policies (§5).
+
+    Each policy drives :class:`repro.runtime.BSPSimulator` over the whole
+    PIC-MAG snapshot stream with the JAG-M-HEUR solver at ``m_fig11``
+    processors; the figure plots cumulative simulated time (compute +
+    communication + migration, default :class:`~repro.runtime.CostModel`)
+    against iteration.  One raw-store cell per policy, keyed by the combined
+    stream digest — the per-step series is cached, the cumulative sum is
+    recomputed at plot time.
+    """
+    sc = get_scale(scale)
+    ds = _pic_dataset(sc)
+    m = sc.m_fig11
+    snaps = [(it, PrefixSum2D(A)) for it, A in ds.snapshots()]
+    sig = combine_digests(digest_prefix(p) for _, p in snaps)
+    res = FigureResult(
+        "ext7",
+        f"Repartitioning policies over the PIC-MAG run, m={m}",
+        "iteration",
+        "cumulative simulated time (s)",
+        notes=f"scale={sc.name}; JAG-M-HEUR solver, default cost model, "
+        f"steps_per_snapshot={sc.pic_period}; §5 extension (not a paper "
+        "figure)",
+    )
+    solver = ALGORITHMS["JAG-M-HEUR"]
+    policies = {
+        "every-1": lambda: EveryK(1),
+        "static": lambda: EveryK(0),
+        "imbalance-0.1": lambda: ImbalanceTriggered(0.1),
+        "budgeted-h5": lambda: MigrationBudgeted(),
+        "incremental-0.1": lambda: IncrementalJagged(m, threshold=0.1),
+    }
+
+    def _series(make) -> list:
+        rep = BSPSimulator(m, solver, policy=make()).run(
+            snaps, steps_per_snapshot=sc.pic_period
+        )
+        return [
+            [float(s.total_time) for s in rep.steps],
+            [int(s.repartitioned) for s in rep.steps],
+        ]
+
+    for pname, make in policies.items():
+        times, _reparts = raw_cell(
+            sc.name,
+            sig,
+            "JAG-M-HEUR",
+            m,
+            lambda make=make: _series(make),
+            metric="policy_sim",
+            policy=pname,
+        )
+        cum = 0.0
+        for (it, _), t in zip(snaps, times):
+            cum += t
+            res.add(pname, it, cum)
+    return res
+
+
 #: extension id -> callable
 ALL_EXTENSIONS = {
     "ext1": ext1_comm_volume,
@@ -296,4 +368,5 @@ ALL_EXTENSIONS = {
     "ext4": ext4_volume_3d,
     "ext5": ext5_registry_coverage,
     "ext6": ext6_spmv_sparse,
+    "ext7": ext7_policy_comparison,
 }

@@ -92,6 +92,41 @@ class PICMagDataset:
         for it in sorted(iterations if iterations is not None else self.iterations):
             yield it, self.snapshot(it)
 
+    def stream(
+        self,
+        iterations: list[int] | None = None,
+        *,
+        substrate: str = "dense",
+    ):
+        """Scenario driver: yield ``(iteration, LoadView)`` pairs.
+
+        The dynamic-loop entry point: each snapshot is wrapped in a load
+        substrate ready for :meth:`repro.runtime.BSPSimulator.run` (which
+        passes substrates through undensified).  ``substrate`` selects the
+        wrapping:
+
+        * ``"dense"`` — :class:`~repro.core.prefix.PrefixSum2D` (the full
+          prefix grid Γ);
+        * ``"sparse"`` — :class:`~repro.core.sparse.SparsePrefix2D` (CSR
+          prefixes; right for mostly-empty grids);
+        * ``"auto"`` — density-dispatched via
+          :func:`~repro.core.sparse.auto_substrate`.
+        """
+        from ...core.prefix import PrefixSum2D
+        from ...core.sparse import SparsePrefix2D, auto_substrate
+
+        wrap = {
+            "dense": PrefixSum2D,
+            "sparse": SparsePrefix2D,
+            "auto": auto_substrate,
+        }.get(substrate)
+        if wrap is None:
+            raise ParameterError(
+                f"substrate must be dense|sparse|auto, got {substrate!r}"
+            )
+        for it, A in self.snapshots(iterations):
+            yield it, wrap(A)
+
     # ------------------------------------------------------------------
     def _advance_to(self, iteration: int) -> None:
         if self._sim is None:

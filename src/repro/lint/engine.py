@@ -49,6 +49,9 @@ HOT_PACKAGES = frozenset(
         "spiral",
         "volume",
         "dynamic",
+        # the BSP simulator consumes substrates and exact loads on every
+        # snapshot of a dynamic run — same integer-arithmetic contracts
+        "runtime",
         # "perf" covers the kernel registry (repro.perf.kernels) and its
         # compiled twins — the hottest loops in the tree (pinned by
         # tests/test_kernels_equality.py)

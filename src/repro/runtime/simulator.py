@@ -8,32 +8,59 @@ PIC-MAG dataset) and a partitioning strategy, it simulates a bulk-synchronous
 execution:
 
 * **compute** — a step costs the load of the most loaded processor times
-  ``alpha`` (perfect overlap inside a step, barrier at the end);
+  ``alpha`` (perfect overlap inside a step, barrier at the end); with
+  heterogeneous per-processor ``speeds`` the cost is the makespan
+  ``max_p L_p / s_p`` (cf. :mod:`repro.oned.hetero`);
 * **communicate** — ghost-cell exchange along rectangle boundaries costs the
   largest per-processor boundary times ``beta``;
-* **repartition** — when the strategy produces a new partition, the load
+* **repartition** — when the policy installs a new partition, the load
   whose owner changes migrates at ``gamma`` per unit.
+
+*When* to repartition is a pluggable
+:class:`~repro.dynamic.policies.RepartitionPolicy` (``policy=``); the legacy
+``repartition_every=k`` knob maps onto
+:class:`~repro.dynamic.policies.EveryK` bit-compatibly.
+
+Exactness: per-step imbalance is the single-rounding rational
+``(Lmax·m − total) / total`` — the same contract as
+:meth:`repro.core.partition.Partition.imbalance`; the earlier
+``lmax / (total / m) − 1`` float form double-rounds past 2^53 (pinned in
+``tests/test_runtime.py``).  Snapshots pass through
+:func:`~repro.core.prefix.prefix_2d`, so sparse
+:class:`~repro.core.sparse.SparsePrefix2D` streams are simulated without
+ever densifying (the earlier hardwired ``PrefixSum2D(A)`` allocated the full
+dense Γ per snapshot).
 
 The simulator is the "application side" that the partitioning algorithms
 serve; the examples drive it with different algorithms to show end-to-end
 effects (cf. §5: "integrate the proposed algorithms in a real dynamic
 application and study their end-to-end effects").
 """
+# repro-lint: disable-file=RPL003 — simulated seconds/speeds are fractional by design
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from fractions import Fraction
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from ..core.errors import ParameterError
 from ..core.metrics import max_boundary, migration_volume, neighbor_counts
 from ..core.partition import Partition
-from ..core.prefix import PrefixSum2D
+from ..core.prefix import LoadView, MatrixLike, prefix_2d
+from ..dynamic.policies import EveryK, RepartitionPolicy, StepContext
 
-__all__ = ["CostModel", "StepStats", "SimulationReport", "BSPSimulator"]
+__all__ = [
+    "CostModel",
+    "StepStats",
+    "SimulationReport",
+    "BSPSimulator",
+    "hetero_partitioner",
+]
 
-Partitioner = Callable[[PrefixSum2D, int], Partition]
+Partitioner = Callable[[LoadView, int], Partition]
 
 
 @dataclass(frozen=True)
@@ -55,7 +82,12 @@ class CostModel:
 
 @dataclass(frozen=True)
 class StepStats:
-    """Per-snapshot accounting."""
+    """Per-snapshot accounting.
+
+    ``makespan`` is the speed-normalized bottleneck time driving the
+    compute cost: equal to ``max_load`` for homogeneous processors, and
+    ``max_p L_p / s_p`` when the simulator was given ``speeds``.
+    """
 
     iteration: int
     max_load: int
@@ -64,6 +96,7 @@ class StepStats:
     comm_time: float
     migration_time: float
     repartitioned: bool
+    makespan: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -93,6 +126,11 @@ class SimulationReport:
         return sum(s.migration_time for s in self.steps)
 
     @property
+    def repartitions(self) -> int:
+        """Number of snapshots at which a new partition was installed."""
+        return sum(1 for s in self.steps if s.repartitioned)
+
+    @property
     def mean_imbalance(self) -> float:
         if not self.steps:
             return 0.0
@@ -107,6 +145,27 @@ class SimulationReport:
         )
 
 
+def hetero_partitioner(speeds, *, num_stripes: int | None = None) -> Partitioner:
+    """Partitioner closure over :func:`repro.jagged.hetero.jag_hetero`.
+
+    ``speeds[i]`` is processor ``i``'s relative speed; the returned callable
+    has the simulator's ``(pref, m) -> Partition`` shape and checks that the
+    simulator's ``m`` matches ``len(speeds)``.
+    """
+    from ..jagged.hetero import jag_hetero
+
+    speeds = np.asarray(speeds, dtype=np.float64)
+
+    def run(pref: LoadView, m: int) -> Partition:
+        if m != len(speeds):
+            raise ParameterError(
+                f"simulator m={m} != len(speeds)={len(speeds)}"
+            )
+        return jag_hetero(pref, speeds, num_stripes=num_stripes)
+
+    return run
+
+
 class BSPSimulator:
     """Simulate a dynamic application over load snapshots.
 
@@ -115,13 +174,22 @@ class BSPSimulator:
     m:
         Number of processors.
     partitioner:
-        ``(PrefixSum2D, m) -> Partition`` — typically a closure over
-        :func:`repro.partition_2d`.
+        ``(LoadView, m) -> Partition`` — typically a closure over
+        :func:`repro.partition_2d` (or :func:`hetero_partitioner`).
     cost:
         The :class:`CostModel`.
     repartition_every:
-        Recompute the partition every k snapshots (1 = always; 0 = never
-        after the first — a static decomposition).
+        Legacy knob: recompute the partition every k snapshots (1 = always;
+        0 = never after the first — a static decomposition).  Ignored when
+        ``policy`` is given.
+    policy:
+        A :class:`~repro.dynamic.policies.RepartitionPolicy` deciding when
+        to repartition (and optionally how to solve).  Defaults to
+        :class:`~repro.dynamic.policies.EveryK` over ``repartition_every``.
+    speeds:
+        Optional per-processor relative speeds (length ``m``, positive).
+        When given, the compute cost of a step is ``alpha`` times the
+        makespan ``max_p L_p / s_p`` instead of ``alpha · Lmax``.
     """
 
     def __init__(
@@ -131,47 +199,95 @@ class BSPSimulator:
         *,
         cost: CostModel | None = None,
         repartition_every: int = 1,
+        policy: RepartitionPolicy | None = None,
+        speeds=None,
     ):
         self.m = m
         self.partitioner = partitioner
         self.cost = cost or CostModel()
         self.repartition_every = repartition_every
+        self.policy = policy if policy is not None else EveryK(repartition_every)
+        if speeds is not None:
+            speeds = np.asarray(speeds, dtype=np.float64)
+            if speeds.ndim != 1 or len(speeds) != m:
+                raise ParameterError(f"speeds must be a 1D array of length m={m}")
+            if (speeds <= 0).any():
+                raise ParameterError("speeds must be positive")
+        self.speeds: Optional[np.ndarray] = speeds
 
     def run(
-        self, snapshots: Iterable[tuple[int, np.ndarray]], *, steps_per_snapshot: int = 1
+        self,
+        snapshots: Iterable[tuple[int, MatrixLike]],
+        *,
+        steps_per_snapshot: int = 1,
     ) -> SimulationReport:
-        """Run over ``(iteration, load_matrix)`` pairs and account the costs.
+        """Run over ``(iteration, load)`` pairs and account the costs.
 
-        ``steps_per_snapshot`` multiplies compute/communication time (the
-        application executes that many solver steps between load changes).
+        ``load`` may be a raw matrix or any prebuilt
+        :class:`~repro.core.prefix.LoadView` substrate (dense or sparse) —
+        substrates pass through undensified.  ``steps_per_snapshot``
+        multiplies compute/communication time (the application executes
+        that many solver steps between load changes).
         """
         report = SimulationReport()
         part: Partition | None = None
         c = self.cost
-        for idx, (iteration, A) in enumerate(snapshots):
-            pref = PrefixSum2D(A)
-            repartition = part is None or (
-                self.repartition_every > 0 and idx % self.repartition_every == 0
-            )
-            mig_time = 0.0
-            if repartition:
-                new_part = self.partitioner(pref, self.m)
-                if part is not None:
-                    mig_time = c.gamma * migration_volume(part, new_part, pref)
-                part = new_part
-            assert part is not None
-            lmax = part.max_load(pref)
-            lat = c.latency * int(neighbor_counts(part).max(initial=0)) if c.latency else 0.0
-            lavg = pref.total / self.m
-            report.steps.append(
-                StepStats(
+        policy = self.policy
+        policy.reset()
+        with policy.scope():
+            for idx, (iteration, A) in enumerate(snapshots):
+                pref = prefix_2d(A)
+                ctx = StepContext(
+                    index=idx,
                     iteration=iteration,
-                    max_load=lmax,
-                    imbalance=(lmax / lavg - 1.0) if lavg else 0.0,
-                    compute_time=c.alpha * lmax * steps_per_snapshot,
-                    comm_time=(c.beta * max_boundary(part) + lat) * steps_per_snapshot,
-                    migration_time=mig_time,
-                    repartitioned=repartition,
+                    pref=pref,
+                    part=part,
+                    m=self.m,
+                    cost=c,
+                    steps_per_snapshot=steps_per_snapshot,
                 )
-            )
+                mig_time = 0.0
+                repartitioned = False
+                if part is None or policy.should_repartition(ctx):
+                    new_part = policy.solve(self.partitioner, ctx)
+                    # a policy may hand the current partition back unchanged
+                    # (MigrationBudgeted deciding "keep"): not a repartition
+                    if new_part is not part:
+                        if part is not None:
+                            mig_time = c.gamma * migration_volume(
+                                part, new_part, pref
+                            )
+                        part = new_part
+                        repartitioned = True
+                assert part is not None
+                lmax = part.max_load(pref)
+                total = pref.total
+                # exact single-rounding imbalance, as Partition.imbalance:
+                # the naive lmax / (total / m) - 1 double-rounds past 2^53
+                imbalance = (
+                    float(Fraction(lmax * self.m - total, total)) if total else 0.0
+                )
+                if self.speeds is not None:
+                    loads = part.loads(pref).astype(np.float64)
+                    makespan = float(np.max(loads / self.speeds))
+                else:
+                    makespan = float(lmax)
+                lat = (
+                    c.latency * int(neighbor_counts(part).max(initial=0))
+                    if c.latency
+                    else 0.0
+                )
+                report.steps.append(
+                    StepStats(
+                        iteration=iteration,
+                        max_load=lmax,
+                        imbalance=imbalance,
+                        compute_time=c.alpha * makespan * steps_per_snapshot,
+                        comm_time=(c.beta * max_boundary(part) + lat)
+                        * steps_per_snapshot,
+                        migration_time=mig_time,
+                        repartitioned=repartitioned,
+                        makespan=makespan,
+                    )
+                )
         return report

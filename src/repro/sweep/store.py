@@ -127,6 +127,9 @@ class SweepStore:
         self._harvest: dict[str, dict] = {}
         #: why the on-disk file was ignored at load time (None = trusted)
         self.ignored_reason: str | None = None
+        #: instances seeded from this store (cumulative across scopes) —
+        #: a cheap warm-start observability hook for benchmarks
+        self.seeded = 0
 
     # -- file I/O -------------------------------------------------------
 
@@ -228,6 +231,7 @@ class SweepStore:
         inst = self._data.get(digest)
         if inst is None:
             return
+        self.seeded += 1
         try:
             if list(inst.get("shape", ())) != [obj.n1, obj.n2]:
                 return

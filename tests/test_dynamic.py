@@ -119,3 +119,40 @@ class TestIncrementalJagged:
             IncrementalJagged(0)
         with pytest.raises(ParameterError):
             IncrementalJagged(4, threshold=-0.1)
+
+    def test_full_vs_refine_decision_exact_past_float_precision(self, monkeypatch):
+        """Big-int regression: the drift decision must not round through float.
+
+        With refined/fresh max loads near 2^62 sitting just past the exact
+        ``(1 + threshold)`` boundary, the old expression
+        ``refined > (1.0 + threshold) * fresh`` rounds the product and keeps
+        the drifted refinement; the exact rational comparison rebuilds.
+        """
+        import repro.dynamic.incremental as mod
+
+        refined_lmax = 2536428244843917064  # > 1.1 * fresh exactly ...
+        fresh_lmax = 2305843858949015501  # ... but not in float arithmetic
+        assert not refined_lmax > (1.0 + 0.1) * fresh_lmax  # float says keep
+
+        class FakePart:
+            def __init__(self, lmax):
+                self._lmax = lmax
+                self.meta = {}
+
+            def max_load(self, pref):
+                return self._lmax
+
+        fresh_parts = iter([FakePart(10), FakePart(fresh_lmax)])
+        monkeypatch.setattr(mod, "jag_m_heur", lambda pref, m, oned: next(fresh_parts))
+        monkeypatch.setattr(
+            mod, "refine_jagged", lambda prev, pref, oned: FakePart(refined_lmax)
+        )
+
+        inc = IncrementalJagged(4, threshold=0.1)
+        A = np.ones((2, 2), dtype=np.int64)
+        inc.step(A)  # install the first (fake) full partition
+        chosen = inc.step(A)
+        # exact arithmetic: the refinement drifted past the threshold, so
+        # the fresh partition must win
+        assert chosen.max_load(None) == fresh_lmax
+        assert inc.full_repartitions == 2 and inc.refinements == 0

@@ -115,6 +115,48 @@ class TestMigration:
         with pytest.raises(ValueError):
             migration_volume(p1, p2, A)
 
+    def test_m_mismatch_raises(self, rng):
+        # owner identity is positional: truncating to min(m, m') silently
+        # misaccounted the dropped processors' load (the pinned bug)
+        A = rng.integers(1, 9, (8, 8))
+        p2 = rect_uniform(A, 2)
+        p4 = rect_uniform(A, 4)
+        with pytest.raises(ValueError, match="processor count"):
+            migration_volume(p2, p4, A)
+        with pytest.raises(ValueError, match="processor count"):
+            migration_volume(p4, p2, A)
+
+    def test_volume_bounded_by_total(self, rng):
+        from repro import partition_2d
+
+        A = rng.integers(0, 20, (16, 16))
+        total = int(A.sum())
+        parts = [
+            rect_uniform(A, 4),
+            rect_uniform(A, 4, P=4, Q=1),
+            partition_2d(A, 4, "JAG-M-HEUR"),
+            partition_2d(A, 4, "HIER-RB"),
+        ]
+        for p1 in parts:
+            for p2 in parts:
+                vol = migration_volume(p1, p2, A)
+                assert 0 <= vol <= total
+                # symmetric: the moved load is the same in both directions
+                assert vol == migration_volume(p2, p1, A)
+            assert migration_volume(p1, p1, A) == 0
+
+    def test_substrate_equality(self, rng):
+        from repro.core.sparse import SparsePrefix2D
+
+        A = np.zeros((16, 16), dtype=np.int64)
+        idx = rng.integers(0, 16, (30, 2))
+        A[idx[:, 0], idx[:, 1]] = rng.integers(1, 50, 30)
+        p1 = rect_uniform(A, 4)
+        p2 = rect_uniform(A, 4, P=4, Q=1)
+        raw = migration_volume(p1, p2, A)
+        assert migration_volume(p1, p2, PrefixSum2D(A)) == raw
+        assert migration_volume(p1, p2, SparsePrefix2D(A)) == raw
+
 
 class TestNeighborCounts:
     def test_grid_adjacency(self, rng):

@@ -91,3 +91,119 @@ class TestAccounting:
         rep = SimulationReport()
         assert rep.total_time == 0.0
         assert rep.mean_imbalance == 0.0
+
+
+class TestExactImbalance:
+    def test_step_imbalance_exact_past_float_precision(self):
+        from fractions import Fraction
+
+        from repro.core.partition import Partition
+        from repro.core.rectangle import Rect
+
+        # total > 2^62: the old lavg = total / m float path collapsed this
+        # tiny positive imbalance to 0.0 (same bug class as
+        # Partition.imbalance before PR 5)
+        big = (1 << 61) + 2
+        A = np.array([[big, big - 1]], dtype=np.int64)
+        fixed = Partition(
+            [Rect(0, 1, 0, 1), Rect(0, 1, 1, 2)], shape=(1, 2), method="manual"
+        )
+        rep = BSPSimulator(2, lambda pref, m: fixed).run([(0, A)])
+        total = 2 * big - 1
+        expected = float(Fraction(2 * big - total, total))
+        assert expected > 0.0
+        assert rep.steps[0].imbalance == expected
+        naive = float(big) / (float(total) / 2) - 1.0
+        assert naive == 0.0  # what the old code recorded
+
+    def test_matches_partition_imbalance(self):
+        snaps = snapshots()
+        parts = []
+
+        def capture(pref, m):
+            part = jag(pref, m)
+            parts.append((part, pref))
+            return part
+
+        rep = BSPSimulator(4, capture).run(snaps)
+        for s, (part, pref) in zip(rep.steps, parts):
+            assert s.imbalance == part.imbalance(pref)
+
+
+class TestSubstratePassThrough:
+    def test_sparse_stream_never_densifies(self):
+        from repro.core.prefix import PrefixSum2D
+        from repro.core.sparse import SparsePrefix2D
+
+        rng = np.random.default_rng(3)
+        mats = []
+        for _ in range(3):
+            A = np.zeros((32, 32), dtype=np.int64)
+            idx = rng.integers(0, 32, (40, 2))
+            A[idx[:, 0], idx[:, 1]] = rng.integers(1, 100, 40)
+            mats.append(A)
+
+        seen = []
+
+        def capture(pref, m):
+            seen.append(pref)
+            return jag(pref, m)
+
+        sparse_rep = BSPSimulator(4, capture).run(
+            (k, SparsePrefix2D(A)) for k, A in enumerate(mats)
+        )
+        # the substrate the partitioner (and all metrics) received is the
+        # caller's sparse one — the old hardwired PrefixSum2D(A) densified
+        assert all(isinstance(p, SparsePrefix2D) for p in seen)
+        assert not any(isinstance(p, PrefixSum2D) for p in seen)
+        # and the accounting is bit-identical to the dense run
+        dense_rep = BSPSimulator(4, jag).run(list(enumerate(mats)))
+        assert sparse_rep.steps == dense_rep.steps
+
+
+class TestHeterogeneous:
+    def test_makespan_uses_speeds(self):
+        from repro.core.partition import Partition
+        from repro.core.rectangle import Rect
+
+        A = np.array([[6, 2]], dtype=np.int64)
+        fixed = Partition(
+            [Rect(0, 1, 0, 1), Rect(0, 1, 1, 2)], shape=(1, 2), method="manual"
+        )
+        cost = CostModel(alpha=1.0, beta=0.0, gamma=0.0)
+        homo = BSPSimulator(2, lambda p, m: fixed, cost=cost).run([(0, A)])
+        assert homo.steps[0].makespan == 6.0
+        # processor 0 is 4x faster: bottleneck moves to processor 1
+        het = BSPSimulator(
+            2, lambda p, m: fixed, cost=cost, speeds=[4.0, 1.0]
+        ).run([(0, A)])
+        assert het.steps[0].makespan == 2.0
+        assert het.steps[0].compute_time == pytest.approx(2.0)
+        # max_load / imbalance stay speed-agnostic (they are load metrics)
+        assert het.steps[0].max_load == homo.steps[0].max_load == 6
+
+    def test_hetero_partitioner_end_to_end(self):
+        from repro.runtime import hetero_partitioner
+
+        speeds = [1.0, 1.0, 2.0, 4.0]
+        sim = BSPSimulator(4, hetero_partitioner(speeds), speeds=speeds)
+        rep = sim.run(snapshots(steps=3))
+        assert len(rep.steps) == 3
+        assert all(s.makespan > 0 for s in rep.steps)
+
+    def test_speeds_validation(self):
+        from repro.core.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            BSPSimulator(4, jag, speeds=[1.0, 2.0])  # wrong length
+        with pytest.raises(ParameterError):
+            BSPSimulator(2, jag, speeds=[1.0, 0.0])  # non-positive
+
+    def test_hetero_partitioner_m_mismatch(self):
+        from repro.core.errors import ParameterError
+        from repro.core.prefix import PrefixSum2D
+        from repro.runtime import hetero_partitioner
+
+        run = hetero_partitioner([1.0, 2.0])
+        with pytest.raises(ParameterError):
+            run(PrefixSum2D(np.ones((4, 4), dtype=np.int64)), 3)
